@@ -1,0 +1,198 @@
+// Command acmsim runs one ACM deployment described by command-line flags:
+// which paper regions to use, how many clients connect to each, which
+// load-balancing policy the leader runs, and for how long.  It prints the
+// per-region state over time, the client-side metrics and the dependability
+// counters, and can dump the raw series as CSV for external plotting.
+//
+// Examples:
+//
+//	acmsim -regions 1,3 -clients 320,128 -policy policy2 -hours 2
+//	acmsim -regions 1,2,3 -clients 288,96,256 -policy policy1 -predictor ml
+//	acmsim -regions 1,3 -clients 200,200 -policy uniform -csv run.csv
+//	acmsim -dump-config scenario.json      # write the assembled scenario
+//	acmsim -config scenario.json           # run a scenario from a JSON file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/acm"
+	"repro/internal/cloudsim"
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		regions   = flag.String("regions", "1,3", "comma-separated paper regions to deploy (1, 2, 3)")
+		clients   = flag.String("clients", "320,128", "comma-separated client counts, one per region")
+		policy    = flag.String("policy", "policy2", "load-balancing policy: policy1, policy2, policy3, uniform")
+		predictor = flag.String("predictor", "oracle", "RTTF predictor: oracle or ml")
+		hours     = flag.Float64("hours", 2, "simulated hours")
+		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
+		beta      = flag.Float64("beta", 0.5, "RMTTF smoothing factor of equation (1)")
+		interval  = flag.Float64("interval", 60, "control loop interval in seconds")
+		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
+		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
+		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
+		dumpPath  = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
+	)
+	flag.Parse()
+
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *csvPath, *config, *dumpPath); err != nil {
+		fmt.Fprintln(os.Stderr, "acmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, csvPath, configPath, dumpPath string) error {
+	np, err := experiment.PolicyByKey(policyKey)
+	if err != nil {
+		return err
+	}
+
+	var scenario experiment.Scenario
+	if configPath != "" {
+		scenario, err = experiment.LoadScenarioFile(configPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		setups, err := parseRegions(regionSpec, clientSpec, mixName)
+		if err != nil {
+			return err
+		}
+		var mode acm.PredictorMode
+		switch predictor {
+		case "oracle":
+			mode = acm.PredictorOracle
+		case "ml":
+			mode = acm.PredictorML
+		default:
+			return fmt.Errorf("unknown predictor %q (use oracle or ml)", predictor)
+		}
+		scenario = experiment.Scenario{
+			Name:            "acmsim",
+			Seed:            seed,
+			Regions:         setups,
+			Horizon:         simclock.Duration(hours) * simclock.Hour,
+			ControlInterval: simclock.Duration(intervalS),
+			Beta:            beta,
+			Predictor:       mode,
+		}
+	}
+	if dumpPath != "" {
+		if err := experiment.SaveScenarioFile(dumpPath, scenario); err != nil {
+			return err
+		}
+		fmt.Println("wrote scenario to", dumpPath)
+		return nil
+	}
+
+	mgr, err := acm.NewManager(acm.Config{
+		Seed:            scenario.Seed,
+		Regions:         scenario.Regions,
+		Policy:          np.Policy,
+		Beta:            scenario.Beta,
+		ControlInterval: scenario.ControlInterval,
+		VMC:             scenario.VMC,
+		Predictor:       scenario.Predictor,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("deploying %d regions, %d clients, policy %s, predictor %s, %.1f simulated hours\n",
+		len(scenario.Regions), scenario.TotalClients(), np.Label, scenario.Predictor, scenario.Horizon.Seconds()/3600)
+	if err := mgr.Run(scenario.Horizon); err != nil {
+		return err
+	}
+
+	printReport(mgr)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mgr.Recorder().WriteAllCSV(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote series to", csvPath)
+	}
+	return nil
+}
+
+// parseRegions turns "1,3" + "320,128" into the region setups.
+func parseRegions(regionSpec, clientSpec, mixName string) ([]acm.RegionSetup, error) {
+	regionIDs := strings.Split(regionSpec, ",")
+	clientCounts := strings.Split(clientSpec, ",")
+	if len(regionIDs) != len(clientCounts) {
+		return nil, fmt.Errorf("got %d regions but %d client counts", len(regionIDs), len(clientCounts))
+	}
+	var mix workload.Mix
+	switch mixName {
+	case "browsing":
+		mix = workload.BrowsingMix()
+	case "shopping":
+		mix = workload.ShoppingMix()
+	case "ordering":
+		mix = workload.OrderingMix()
+	default:
+		return nil, fmt.Errorf("unknown mix %q", mixName)
+	}
+	var out []acm.RegionSetup
+	for i, idStr := range regionIDs {
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil || id < 1 || id > 3 {
+			return nil, fmt.Errorf("invalid paper region %q (use 1, 2 or 3)", idStr)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(clientCounts[i]))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid client count %q", clientCounts[i])
+		}
+		out = append(out, acm.RegionSetup{
+			Region:  cloudsim.PaperRegionConfig(cloudsim.PaperRegion(id)),
+			Clients: n,
+			Mix:     mix,
+		})
+	}
+	return out, nil
+}
+
+// printReport prints the end-of-run state: figures, metrics and counters.
+func printReport(mgr *acm.Manager) {
+	rec := mgr.Recorder()
+	fmt.Println()
+	fmt.Print(trace.ASCIIPlot(rec.Set("rmttf"), trace.PlotOptions{Title: "RMTTF per region (s)", Height: 12}))
+	fmt.Print(trace.ASCIIPlot(rec.Set("fraction"), trace.PlotOptions{Title: "workload fraction f_i", Height: 12}))
+	fmt.Print(trace.ASCIIPlot(rec.Set("response_time"), trace.PlotOptions{Title: "client response time (s)", Height: 10}))
+	fmt.Println()
+	fmt.Println("steady-state summary (last 40% of the run):")
+	fmt.Print(trace.SummaryTable(rec.Set("rmttf"), 0.4))
+	fmt.Print(trace.SummaryTable(rec.Set("fraction"), 0.4))
+	fmt.Println()
+
+	fmt.Println("client metrics:", mgr.Metrics())
+	fmt.Printf("control eras: %d, controller messages: %d, forwarded requests: %d (%.1f%% of total)\n",
+		mgr.Eras(), mgr.ControlMessages(), mgr.ForwardedRequests(),
+		100*float64(mgr.ForwardedRequests())/float64(mgr.ForwardedRequests()+mgr.LocalRequests()+1))
+	leader, _ := mgr.Cluster().GlobalLeader()
+	fmt.Printf("leader VMC: %s (elections run: %d)\n", leader, mgr.Cluster().Elections())
+	fmt.Println()
+	fmt.Println("per-region state:")
+	for _, s := range mgr.RegionStats() {
+		fmt.Println("  ", s)
+	}
+	fmt.Println("per-region controller counters:")
+	for name, s := range mgr.VMCStats() {
+		fmt.Printf("   %s: proactive=%d reactive=%d activations=%d provisioned=%d\n",
+			name, s.ProactiveRejuvenations, s.ReactiveRecoveries, s.Activations, s.ProvisionedVMs)
+	}
+}

@@ -1,0 +1,223 @@
+// Command figures regenerates the evaluation artefacts of the paper: the
+// time-series figures (Figure 3 with two regions, Figure 4 with three
+// regions), the qualitative-claims summary backing Section VI-B, and the
+// ablations the reproduction adds (β sweep, exploration-factor sweep,
+// baseline policies, homogeneous regions).
+//
+// Usage examples:
+//
+//	figures -figure 3                      # regenerate Figure 3 (all policies)
+//	figures -figure 4 -policy policy2      # one policy only
+//	figures -figure 3 -csv out/            # also write the raw series as CSV
+//	figures -summary                       # both figures + claims checklist
+//	figures -ablation beta                 # β sweep for equation (1)
+//	figures -ablation k                    # k sweep for Policy 3
+//	figures -ablation baseline             # uniform / static baselines
+//	figures -ablation homogeneous          # Policy 1 on homogeneous regions
+//	figures -ablation predictor            # oracle vs. trained F2PM predictor
+//	figures -ablation elasticity           # ADDVMS under a workload surge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "figure to regenerate: 3 (two regions) or 4 (three regions)")
+		policy   = flag.String("policy", "all", "policy to run: policy1, policy2, policy3 or all")
+		summary  = flag.Bool("summary", false, "run both figures with all policies and print the claims checklist")
+		ablation = flag.String("ablation", "", "ablation to run: beta, k, baseline or homogeneous")
+		seed     = flag.Uint64("seed", 42, "deterministic simulation seed")
+		horizon  = flag.Float64("horizon", 2, "simulated hours per run")
+		csvDir   = flag.String("csv", "", "directory to write the raw time series as CSV files")
+	)
+	flag.Parse()
+
+	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string) error {
+	horizon := simclock.Duration(horizonHours) * simclock.Hour
+
+	scenarioFor := func(fig int) (experiment.Scenario, error) {
+		switch fig {
+		case 3:
+			sc := experiment.Figure3Scenario(seed)
+			sc.Horizon = horizon
+			return sc, nil
+		case 4:
+			sc := experiment.Figure4Scenario(seed)
+			sc.Horizon = horizon
+			return sc, nil
+		default:
+			return experiment.Scenario{}, fmt.Errorf("unknown figure %d (use 3 or 4)", fig)
+		}
+	}
+
+	switch {
+	case summary:
+		for _, fig := range []int{3, 4} {
+			sc, err := scenarioFor(fig)
+			if err != nil {
+				return err
+			}
+			if err := runScenario(sc, "all", csvDir); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case ablation != "":
+		return runAblation(ablation, seed, horizon)
+
+	case figure != 0:
+		sc, err := scenarioFor(figure)
+		if err != nil {
+			return err
+		}
+		return runScenario(sc, policy, csvDir)
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -figure, -summary or -ablation")
+	}
+}
+
+// runScenario runs one scenario under the requested policies, printing the
+// ASCII figures and the summary, and optionally dumping CSVs.
+func runScenario(sc experiment.Scenario, policy, csvDir string) error {
+	var policies []experiment.NamedPolicy
+	if policy == "all" || policy == "" {
+		policies = experiment.Policies()
+	} else {
+		np, err := experiment.PolicyByKey(policy)
+		if err != nil {
+			return err
+		}
+		policies = []experiment.NamedPolicy{np}
+	}
+
+	results := map[string]*experiment.Result{}
+	for _, np := range policies {
+		fmt.Printf("running %s under %s ...\n", sc.Name, np.Label)
+		res, err := experiment.Run(sc, np)
+		if err != nil {
+			return err
+		}
+		results[np.Key] = res
+		fmt.Print(experiment.FigureReport(res))
+		fmt.Println()
+		if csvDir != "" {
+			if err := writeCSVs(csvDir, sc.Name, np.Key, res); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("=== %s summary ===\n", sc.Name)
+	fmt.Print(experiment.SummaryTable(results))
+	if len(results) == len(experiment.Policies()) {
+		fmt.Println("qualitative claims (Section VI-B):")
+		fmt.Print(experiment.EvaluateClaims(results))
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeCSVs writes every recorded series set of one result as a CSV file.
+func writeCSVs(dir, scenario, policy string, res *experiment.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, set := range res.Recorder.SetNames() {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s_%s.csv", scenario, policy, set))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := res.Recorder.WriteCSV(f, set); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+// runAblation executes one of the ablation studies.
+func runAblation(kind string, seed uint64, horizon simclock.Duration) error {
+	sc := experiment.Figure3Scenario(seed)
+	sc.Horizon = horizon
+	switch kind {
+	case "beta":
+		np, _ := experiment.PolicyByKey("policy2")
+		pts, err := experiment.BetaSweep(sc, np, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Println("β sweep (equation 1 smoothing) under Policy 2, Figure 3 scenario:")
+		fmt.Print(experiment.AblationTable(pts))
+	case "k":
+		pts, err := experiment.ExplorationKSweep(sc, []float64{0.5, 0.75, 1.0, 1.25})
+		if err != nil {
+			return err
+		}
+		fmt.Println("k sweep (equations 6 and 8) for Policy 3, Figure 3 scenario:")
+		fmt.Print(experiment.AblationTable(pts))
+	case "baseline":
+		res, err := experiment.BaselineComparison(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Policy 2 vs. non-adaptive baselines, Figure 3 scenario:")
+		fmt.Print(experiment.SummaryTable(res))
+	case "homogeneous":
+		hom := experiment.HomogeneousScenario(seed)
+		hom.Horizon = horizon
+		results, err := experiment.RunAllPolicies(hom)
+		if err != nil {
+			return err
+		}
+		fmt.Println("all policies on three homogeneous regions (Policy 1 is expected to behave well here):")
+		fmt.Print(experiment.SummaryTable(results))
+	case "predictor":
+		np, _ := experiment.PolicyByKey("policy2")
+		res, err := experiment.PredictorComparison(sc, np)
+		if err != nil {
+			return err
+		}
+		fmt.Println("oracle vs. trained F2PM predictor, Policy 2, Figure 3 scenario:")
+		fmt.Print(experiment.SummaryTable(res))
+	case "elasticity":
+		el := experiment.ElasticityScenario(seed)
+		np, _ := experiment.PolicyByKey("policy2")
+		res, err := experiment.Run(el, np)
+		if err != nil {
+			return err
+		}
+		fmt.Println("ADDVMS elasticity under a mid-run workload surge (Policy 2):")
+		fmt.Print(trace.ASCIIPlot(res.Recorder.Set("active_vms"), trace.PlotOptions{
+			Title: "ACTIVE VMs per region", Height: 10, Width: 72}))
+		fmt.Print(trace.ASCIIPlot(res.Recorder.Set("response_time"), trace.PlotOptions{
+			Title: "client response time (s)", Height: 10, Width: 72}))
+		fmt.Printf("mean response time %.3fs, SLA violations %.2f%%, success ratio %.4f\n",
+			res.MeanResponseTime, 100*res.SLAViolationRatio, res.SuccessRatio)
+	default:
+		return fmt.Errorf("unknown ablation %q (use beta, k, baseline, homogeneous, predictor or elasticity)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Two-region experiment: the Figure 3 scenario of the paper.
+//
+// Region 1 (6 m3.medium VMs, Amazon EC2 Ireland) and Region 3 (4 private VMs
+// in Munich) serve client populations of very different sizes.  The example
+// runs the scenario under each of the three load-balancing policies and
+// prints, for each one, the three rows of the paper's Figure 3 — the RMTTF of
+// each region over time, the workload fraction f_i of each region over time,
+// and the client response time — followed by the qualitative comparison of
+// Section VI-B.
+//
+// Run with:
+//
+//	go run ./examples/tworegion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+)
+
+func main() {
+	scenario := experiment.Figure3Scenario(42)
+	scenario.Horizon = 90 * simclock.Minute // enough to reach steady state
+
+	results := map[string]*experiment.Result{}
+	for _, np := range experiment.Policies() {
+		fmt.Printf("running the two-region scenario under %s ...\n", np.Label)
+		res, err := experiment.Run(scenario, np)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[np.Key] = res
+		fmt.Print(experiment.FigureReport(res))
+		fmt.Println()
+	}
+
+	fmt.Println("=== policy comparison (Figure 3) ===")
+	fmt.Print(experiment.SummaryTable(results))
+	fmt.Println("qualitative claims of Section VI-B:")
+	fmt.Print(experiment.EvaluateClaims(results))
+}

@@ -1,0 +1,629 @@
+// Package acm assembles the full Autonomic Cloud Manager: the cloud regions
+// and their VMs (cloudsim), the per-region Virtual Machine Controllers with
+// proactive rejuvenation (pcam), the ML-based RTTF prediction models (f2pm),
+// the overlay network interconnecting the controllers (overlay), the leader
+// election among them (election), the TPC-W client populations (workload) and
+// the leader-side closed control loop with the load-balancing policies
+// (core).  A Manager owns one simulated deployment and runs it on the
+// discrete-event engine, producing the time series (RMTTF, workload fractions
+// f_i, client response time) that the paper's figures plot.
+package acm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/f2pm"
+	"repro/internal/overlay"
+	"repro/internal/pcam"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PredictorMode selects how the VMCs estimate the RTTF of their VMs.
+type PredictorMode string
+
+const (
+	// PredictorOracle uses the simulator's ground truth (a perfect ML model).
+	// It is the default for the figure experiments: the paper's focus is the
+	// load-balancing policies, not prediction accuracy.
+	PredictorOracle PredictorMode = "oracle"
+	// PredictorML trains an F2PM REP-Tree model per instance type on a
+	// synthetic profiling run and uses it at runtime, reproducing the full
+	// F2PM -> PCAM -> ACM pipeline.
+	PredictorML PredictorMode = "ml"
+)
+
+// RegionSetup couples a region configuration with the client population
+// connected to it.
+type RegionSetup struct {
+	// Region is the cloud region configuration.
+	Region cloudsim.RegionConfig
+	// Clients is the number of emulated browsers connected to this region's
+	// load balancer (the paper varies this in [16, 512] per region).
+	Clients int
+	// Mix is the TPC-W mix of those clients (browsing mix when zero-valued).
+	Mix workload.Mix
+	// SurgeClients optionally adds this many extra browsers once SurgeAt is
+	// reached, modelling the global workload increase of Section V that the
+	// ADDVMS elasticity action responds to.
+	SurgeClients int
+	// SurgeAt is the simulated time at which the surge population connects.
+	SurgeAt simclock.Duration
+}
+
+// Config describes a complete ACM deployment.
+type Config struct {
+	// Seed drives every random stream of the simulation.
+	Seed uint64
+	// Regions lists the cloud regions and their client populations.
+	Regions []RegionSetup
+	// Policy is the load-balancing policy run by the leader VMC.
+	Policy core.Policy
+	// Beta is the smoothing factor of equation (1).
+	Beta float64
+	// ControlInterval is the period of the global closed control loop (one
+	// era per interval).
+	ControlInterval simclock.Duration
+	// VMC configures the per-region controllers (zero value = pcam defaults).
+	VMC pcam.Config
+	// Predictor selects oracle or ML-based RTTF prediction.
+	Predictor PredictorMode
+	// ThinkTime is the emulated browsers' mean think time (7 s when zero).
+	ThinkTime simclock.Duration
+	// RequestTimeout aborts client interactions that take longer than this
+	// (disabled when zero).
+	RequestTimeout simclock.Duration
+	// Overlay is the controller interconnection network; when nil a
+	// three-region paper overlay is built and regions beyond the first three
+	// are attached to the transit node.
+	Overlay *overlay.Network
+	// Recorder receives the experiment time series; a fresh recorder is
+	// created when nil.
+	Recorder *trace.Recorder
+	// MLProfile overrides the profiling configuration used when Predictor is
+	// PredictorML (sensible defaults otherwise).
+	MLProfile f2pm.ProfileConfig
+	// InitialAgeSpread staggers the initial anomaly state of each region's
+	// active VMs across [0, InitialAgeSpread) of their failure budget, so
+	// that rejuvenation points do not all align (the paper's testbed VMs had
+	// been running before the measurements started).  Negative disables the
+	// stagger; zero selects the default of 0.5.
+	InitialAgeSpread float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Beta <= 0 || c.Beta > 1 {
+		c.Beta = 0.5
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 60 * simclock.Second
+	}
+	if c.Policy == nil {
+		c.Policy = core.AvailableResources{}
+	}
+	if c.Predictor == "" {
+		c.Predictor = PredictorOracle
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 7 * simclock.Second
+	}
+	if c.InitialAgeSpread == 0 {
+		c.InitialAgeSpread = 0.5
+	}
+	if c.InitialAgeSpread < 0 {
+		c.InitialAgeSpread = 0
+	}
+	return c
+}
+
+// Manager is one assembled ACM deployment.
+type Manager struct {
+	cfg Config
+	eng *simclock.Engine
+
+	regions     []*cloudsim.Region
+	regionNames []string
+	vmcs        map[string]*pcam.VMC
+	populations map[string]*workload.Population
+	surges      map[string]*workload.Population
+	surgeAt     map[string]simclock.Duration
+	metrics     *workload.Metrics
+	net         *overlay.Network
+	cluster     *election.Cluster
+	loop        *core.Loop
+	plan        *core.ForwardPlan
+	recorder    *trace.Recorder
+	models      map[string]*f2pm.Model // per instance type, when PredictorML
+
+	// interval accounting for λ, entry shares and the response-time series
+	prevIssued    map[string]uint64
+	prevCompleted uint64
+	prevRespTotal float64
+
+	// counters
+	eras              uint64
+	forwardedRequests uint64
+	localRequests     uint64
+	controlMessages   uint64
+	stopLoop          func()
+}
+
+// NewManager builds the deployment.  It trains the ML predictors up front
+// when PredictorML is selected (the paper's initial profiling phase).
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("acm: no regions configured")
+	}
+	m := &Manager{
+		cfg:         cfg,
+		eng:         simclock.NewEngine(cfg.Seed),
+		vmcs:        map[string]*pcam.VMC{},
+		populations: map[string]*workload.Population{},
+		surges:      map[string]*workload.Population{},
+		surgeAt:     map[string]simclock.Duration{},
+		metrics:     workload.NewMetrics(),
+		recorder:    cfg.Recorder,
+		models:      map[string]*f2pm.Model{},
+		prevIssued:  map[string]uint64{},
+	}
+	if m.recorder == nil {
+		m.recorder = trace.NewRecorder()
+	}
+
+	// Train per-instance-type prediction models first if requested.
+	if cfg.Predictor == PredictorML {
+		if err := m.trainModels(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build regions, controllers and client populations.
+	names := make([]string, 0, len(cfg.Regions))
+	for i, rs := range cfg.Regions {
+		rng := simclock.NewRNG(cfg.Seed + uint64(i)*104729 + 13)
+		region := cloudsim.NewRegion(rs.Region, rng)
+		m.regions = append(m.regions, region)
+		names = append(names, region.Name())
+
+		// Stagger the initial ageing of the active VMs so their rejuvenation
+		// points spread over time instead of arriving as a synchronised wave.
+		if cfg.InitialAgeSpread > 0 {
+			actives := region.ActiveVMs()
+			for j, vm := range actives {
+				vm.PreAge(cfg.InitialAgeSpread * float64(j) / float64(len(actives)))
+			}
+		}
+
+		predictor, err := m.predictorFor(region)
+		if err != nil {
+			return nil, err
+		}
+		vmc, err := pcam.NewVMC(region, predictor, cfg.VMC)
+		if err != nil {
+			return nil, fmt.Errorf("acm: region %s: %w", region.Name(), err)
+		}
+		m.vmcs[region.Name()] = vmc
+
+		pop := workload.NewPopulation(workload.PopulationConfig{
+			Region:        region.Name(),
+			Clients:       rs.Clients,
+			Mix:           rs.Mix,
+			ThinkTimeMean: cfg.ThinkTime,
+			Timeout:       cfg.RequestTimeout,
+			RampUp:        cfg.ControlInterval / 2,
+		}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+101), m.entryDispatcher(region.Name()), m.metrics)
+		m.populations[region.Name()] = pop
+
+		if rs.SurgeClients > 0 && rs.SurgeAt > 0 {
+			surge := workload.NewPopulation(workload.PopulationConfig{
+				Region:        region.Name(),
+				Clients:       rs.SurgeClients,
+				Mix:           rs.Mix,
+				ThinkTimeMean: cfg.ThinkTime,
+				Timeout:       cfg.RequestTimeout,
+				RampUp:        cfg.ControlInterval / 2,
+			}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+271), m.entryDispatcher(region.Name()), m.metrics)
+			m.surges[region.Name()] = surge
+			m.surgeAt[region.Name()] = rs.SurgeAt
+		}
+	}
+	m.regionNames = names
+
+	// Overlay + leader election among the controllers.
+	m.net = cfg.Overlay
+	if m.net == nil {
+		m.net = defaultOverlay(names)
+	}
+	members := make([]election.Member, 0, len(names))
+	for _, r := range m.regions {
+		members = append(members, election.Member{Name: r.Name(), Priority: len(r.VMs())})
+	}
+	cluster, err := election.NewCluster(m.net, members)
+	if err != nil {
+		return nil, fmt.Errorf("acm: leader election: %w", err)
+	}
+	m.cluster = cluster
+
+	// Leader-side closed control loop.
+	loop, err := core.NewLoop(names, cfg.Policy, cfg.Beta)
+	if err != nil {
+		return nil, fmt.Errorf("acm: control loop: %w", err)
+	}
+	loop.SetKeepHistory(false)
+	m.loop = loop
+
+	// Initial forward plan: process where you arrive.
+	entry := m.entrySharesFromClients()
+	plan, err := core.BuildForwardPlan(names, entry, entry)
+	if err != nil {
+		return nil, err
+	}
+	m.plan = plan
+	return m, nil
+}
+
+// defaultOverlay returns the paper overlay when the deployment uses (a subset
+// of) the paper's region names, otherwise a fully connected mesh with uniform
+// 20 ms links.
+func defaultOverlay(names []string) *overlay.Network {
+	paper := map[string]bool{"region1": true, "region2": true, "region3": true}
+	allPaper := true
+	for _, n := range names {
+		if !paper[n] {
+			allPaper = false
+			break
+		}
+	}
+	if allPaper {
+		return overlay.PaperOverlay()
+	}
+	net := overlay.New()
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			_ = net.AddLink(a, b, 20)
+		}
+	}
+	return net
+}
+
+// trainModels runs the F2PM profiling + training pipeline once per distinct
+// instance type in the deployment.
+func (m *Manager) trainModels() error {
+	types := map[string]cloudsim.InstanceType{}
+	for _, rs := range m.cfg.Regions {
+		types[rs.Region.Type.Name] = rs.Region.Type
+	}
+	names := make([]string, 0, len(types))
+	for n := range types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		pcfg := m.cfg.MLProfile
+		pcfg.Instance = types[n]
+		if pcfg.Seed == 0 {
+			pcfg.Seed = m.cfg.Seed + 7000 + uint64(i)
+		}
+		model, _, err := f2pm.TrainFromProfile(pcfg, f2pm.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("acm: training predictor for %s: %w", n, err)
+		}
+		m.models[n] = model
+	}
+	return nil
+}
+
+// predictorFor returns the RTTF predictor for a region according to the
+// configured mode.
+func (m *Manager) predictorFor(region *cloudsim.Region) (pcam.RTTFPredictor, error) {
+	switch m.cfg.Predictor {
+	case PredictorOracle:
+		return pcam.OraclePredictor{}, nil
+	case PredictorML:
+		model, ok := m.models[region.Config().Type.Name]
+		if !ok {
+			return nil, fmt.Errorf("acm: no trained model for instance type %s", region.Config().Type.Name)
+		}
+		return pcam.ModelPredictor{Model: model}, nil
+	default:
+		return nil, fmt.Errorf("acm: unknown predictor mode %q", m.cfg.Predictor)
+	}
+}
+
+// entryDispatcher returns the workload.Dispatcher of one region's entry load
+// balancer: it applies the global forward plan, forwarding the request over
+// the overlay when the plan routes it to another region.
+func (m *Manager) entryDispatcher(regionName string) workload.Dispatcher {
+	rng := simclock.NewRNG(m.cfg.Seed ^ hashString(regionName))
+	return workload.DispatcherFunc(func(eng *simclock.Engine, req *cloudsim.Request) {
+		dest := m.plan.Destination(regionName, rng.Float64())
+		if dest == regionName {
+			m.localRequests++
+			m.vmcs[dest].Submit(eng, req)
+			return
+		}
+		m.forwardedRequests++
+		req.Forwarded = true
+		latMs := m.net.Latency(regionName, dest)
+		if latMs != latMs || latMs > 1e6 { // NaN or unreachable: process locally
+			m.vmcs[regionName].Submit(eng, req)
+			return
+		}
+		oneWay := simclock.Duration(latMs / 1000)
+		// The response travels back over the overlay as well: shift the
+		// client-visible completion by the return latency.
+		if prev := req.OnDone; prev != nil {
+			req.OnDone = func(o cloudsim.Outcome) {
+				o.End = o.End.Add(oneWay)
+				prev(o)
+			}
+		}
+		eng.ScheduleFunc(oneWay, func(e *simclock.Engine) {
+			m.vmcs[dest].Submit(e, req)
+		})
+	})
+}
+
+// hashString is a small FNV-style hash used to derive per-region RNG streams.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// entrySharesFromClients returns the per-region share of connected clients,
+// the best estimate of the entry distribution before any traffic is observed.
+func (m *Manager) entrySharesFromClients() []float64 {
+	out := make([]float64, len(m.regionNames))
+	for i, name := range m.regionNames {
+		out[i] = float64(m.populations[name].Size())
+	}
+	return core.Normalize(out)
+}
+
+// Engine exposes the simulation engine (tests and examples schedule fault
+// injection through it).
+func (m *Manager) Engine() *simclock.Engine { return m.eng }
+
+// Recorder returns the experiment time-series recorder.
+func (m *Manager) Recorder() *trace.Recorder { return m.recorder }
+
+// Metrics returns the client-side workload metrics.
+func (m *Manager) Metrics() *workload.Metrics { return m.metrics }
+
+// Overlay returns the controller overlay network.
+func (m *Manager) Overlay() *overlay.Network { return m.net }
+
+// Cluster returns the leader-election cluster.
+func (m *Manager) Cluster() *election.Cluster { return m.cluster }
+
+// Loop returns the leader-side control loop.
+func (m *Manager) Loop() *core.Loop { return m.loop }
+
+// Plan returns the currently installed forward plan.
+func (m *Manager) Plan() *core.ForwardPlan { return m.plan }
+
+// VMC returns the controller of the named region (nil when unknown).
+func (m *Manager) VMC(region string) *pcam.VMC { return m.vmcs[region] }
+
+// Regions returns the simulated regions.
+func (m *Manager) Regions() []*cloudsim.Region { return m.regions }
+
+// RegionNames returns the region names in configuration order.
+func (m *Manager) RegionNames() []string { return append([]string(nil), m.regionNames...) }
+
+// Eras returns the number of completed control eras.
+func (m *Manager) Eras() uint64 { return m.eras }
+
+// ForwardedRequests returns how many requests were forwarded to a region
+// other than their entry region (the redirection overhead of Section VI-B).
+func (m *Manager) ForwardedRequests() uint64 { return m.forwardedRequests }
+
+// LocalRequests returns how many requests were processed in their entry
+// region.
+func (m *Manager) LocalRequests() uint64 { return m.localRequests }
+
+// ControlMessages returns the number of controller-to-controller messages
+// exchanged by the control loop (RMTTF reports and plan installations routed
+// over the overlay).
+func (m *Manager) ControlMessages() uint64 { return m.controlMessages }
+
+// Start launches the client populations, the per-region controllers and the
+// global control loop.
+func (m *Manager) Start() {
+	for _, name := range m.regionNames {
+		m.vmcs[name].Start(m.eng)
+		m.populations[name].Start(m.eng)
+		if surge, ok := m.surges[name]; ok {
+			surge := surge
+			m.eng.ScheduleFunc(m.surgeAt[name], func(e *simclock.Engine) { surge.Start(e) })
+		}
+	}
+	m.stopLoop = m.eng.Ticker(m.cfg.ControlInterval, func(eng *simclock.Engine) { m.controlEra(eng) })
+}
+
+// Stop halts the client populations and the controllers (pending events keep
+// draining until the engine finishes).
+func (m *Manager) Stop() {
+	for _, name := range m.regionNames {
+		m.populations[name].Stop()
+		if surge, ok := m.surges[name]; ok {
+			surge.Stop()
+		}
+		m.vmcs[name].Stop()
+	}
+	if m.stopLoop != nil {
+		m.stopLoop()
+		m.stopLoop = nil
+	}
+}
+
+// Run starts the deployment, executes the simulation for the given horizon
+// and stops it.  It can be called once per Manager.
+func (m *Manager) Run(horizon simclock.Duration) error {
+	m.Start()
+	err := m.eng.Run(horizon)
+	m.Stop()
+	if err != nil && err != simclock.ErrHorizonReached {
+		return err
+	}
+	return nil
+}
+
+// controlEra executes one era of the global closed control loop: Monitor and
+// Analyze happen inside the VMCs (they have already refreshed their RMTTF
+// estimates on their own control ticks); here the leader collects the
+// lastRMTTF of every reachable region, runs the policy, rebuilds the forward
+// plan and installs it, and the recorder captures the series the figures
+// plot.
+func (m *Manager) controlEra(eng *simclock.Engine) {
+	now := eng.Now().Seconds()
+	leader, _ := m.cluster.GlobalLeader()
+	if leader == "" {
+		// No leader (fully partitioned): keep the previous plan.
+		return
+	}
+
+	// Analyze: collect lastRMTTF_i from every VMC.  Unreachable regions keep
+	// their previous smoothed value (the leader simply has no fresher data).
+	last := make([]float64, len(m.regionNames))
+	for i, name := range m.regionNames {
+		vmc := m.vmcs[name]
+		if name == leader || m.net.Reachable(name, leader) {
+			last[i] = vmc.RMTTF()
+			if name != leader {
+				m.controlMessages++
+			}
+		} else {
+			last[i] = m.loop.Aggregator().Current(name)
+		}
+		if last[i] <= 0 {
+			// Before the first VMC tick: fall back to a capacity-based prior
+			// so the very first plan is not degenerate.
+			last[i] = m.regions[i].TrueRMTTF(1)
+		}
+	}
+
+	// λ and entry shares measured over the last interval.
+	lambda, entry := m.intervalArrivals(eng)
+
+	res, err := m.loop.Step(last, lambda, entry)
+	if err != nil {
+		return
+	}
+	m.eras++
+
+	// Execute: install the plan (one message per reachable slave).
+	m.plan = res.Plan
+	for _, name := range m.regionNames {
+		if name != leader && m.net.Reachable(leader, name) {
+			m.controlMessages++
+		}
+	}
+
+	// Record the series of Figures 3 and 4.
+	respMean := m.intervalResponseTime()
+	for i, name := range m.regionNames {
+		m.recorder.Record("rmttf", name, now, res.SmoothedRMTTF[i])
+		m.recorder.Record("fraction", name, now, res.Fractions[i])
+		m.recorder.Record("active_vms", name, now, float64(m.vmcs[name].ActiveVMs()))
+	}
+	m.recorder.Record("response_time", "all_clients", now, respMean)
+	m.recorder.Record("lambda", "global", now, lambda)
+	m.recorder.Record("cross_region", "fraction", now, m.plan.CrossRegionFraction())
+}
+
+// intervalArrivals returns the global request rate and per-region entry
+// shares observed since the previous control era.
+func (m *Manager) intervalArrivals(eng *simclock.Engine) (lambda float64, entry []float64) {
+	interval := m.cfg.ControlInterval.Seconds()
+	totalNew := uint64(0)
+	entry = make([]float64, len(m.regionNames))
+	for i, name := range m.regionNames {
+		iss := m.metrics.Issued(name)
+		diff := iss - m.prevIssued[name]
+		m.prevIssued[name] = iss
+		entry[i] = float64(diff)
+		totalNew += diff
+	}
+	if totalNew == 0 {
+		return 0, m.entrySharesFromClients()
+	}
+	return float64(totalNew) / interval, core.Normalize(entry)
+}
+
+// intervalResponseTime returns the mean client response time over the last
+// control interval (falling back to the lifetime mean when no request
+// completed in the interval).
+func (m *Manager) intervalResponseTime() float64 {
+	count := m.metrics.Completed("")
+	mean := m.metrics.MeanResponseTime("")
+	total := mean * float64(count)
+	dCount := count - m.prevCompleted
+	dTotal := total - m.prevRespTotal
+	m.prevCompleted = count
+	m.prevRespTotal = total
+	if dCount == 0 {
+		return mean
+	}
+	return dTotal / float64(dCount)
+}
+
+// InjectLinkFailure fails the overlay link between two controllers at the
+// given simulated time and triggers a re-election (the overlay reroutes
+// control traffic automatically).
+func (m *Manager) InjectLinkFailure(at simclock.Duration, a, b string) {
+	m.eng.ScheduleFunc(at, func(*simclock.Engine) {
+		m.cluster.ReportLinkFailure(a, b)
+	})
+}
+
+// InjectLinkRecovery restores the overlay link at the given time.
+func (m *Manager) InjectLinkRecovery(at simclock.Duration, a, b string) {
+	m.eng.ScheduleFunc(at, func(*simclock.Engine) {
+		m.cluster.ReportLinkRecovery(a, b)
+	})
+}
+
+// InjectControllerFailure marks a region's controller as failed at the given
+// time: it stops participating in the election (a new leader is elected if it
+// was leading) and becomes unreachable for RMTTF reports until recovered.
+func (m *Manager) InjectControllerFailure(at simclock.Duration, region string) {
+	m.eng.ScheduleFunc(at, func(*simclock.Engine) {
+		m.cluster.ReportNodeFailure(region)
+	})
+}
+
+// InjectControllerRecovery revives a failed controller at the given time.
+func (m *Manager) InjectControllerRecovery(at simclock.Duration, region string) {
+	m.eng.ScheduleFunc(at, func(*simclock.Engine) {
+		m.cluster.ReportNodeRecovery(region)
+	})
+}
+
+// RegionStats returns the per-region simulator statistics.
+func (m *Manager) RegionStats() []cloudsim.Stats {
+	out := make([]cloudsim.Stats, len(m.regions))
+	for i, r := range m.regions {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
+// VMCStats returns the per-region controller statistics keyed by region name.
+func (m *Manager) VMCStats() map[string]pcam.Stats {
+	out := map[string]pcam.Stats{}
+	for name, vmc := range m.vmcs {
+		out[name] = vmc.Stats()
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package cloudsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// RegionConfig describes one cloud region of the deployment: a set of VMs of
+// a single instance type hosted by one provider in one geographic location.
+// The paper's testbed (Section VI-A) uses three such regions with markedly
+// different amounts of resources, which is exactly the heterogeneity the
+// load-balancing policies must cope with.
+type RegionConfig struct {
+	// Name identifies the region (e.g. "region1").
+	Name string
+	// Provider is the hosting provider ("aws", "private", ...).
+	Provider string
+	// Location is the geographic location, used by the overlay latency model.
+	Location string
+	// Type is the instance type of every VM in the region.
+	Type InstanceType
+	// InitialActive is the number of VMs started in the ACTIVE state.
+	InitialActive int
+	// InitialStandby is the number of VMs started in the STANDBY state,
+	// available for proactive takeover.
+	InitialStandby int
+	// MaxVMs caps how many VMs the hypervisor / provider account can host in
+	// this region; ADDVMS requests beyond the cap are rejected.  Zero means
+	// "twice the initial pool".
+	MaxVMs int
+	// Anomalies, Failure and Rejuvenation apply to every VM in the region.
+	Anomalies    AnomalyProfile
+	Failure      FailurePoint
+	Rejuvenation RejuvenationModel
+}
+
+// withDefaults fills zero-valued fields with the paper's defaults.
+func (c RegionConfig) withDefaults() RegionConfig {
+	if c.Anomalies == (AnomalyProfile{}) {
+		c.Anomalies = DefaultAnomalyProfile()
+	}
+	if c.Failure == (FailurePoint{}) {
+		c.Failure = DefaultFailurePoint()
+	}
+	if c.Rejuvenation == (RejuvenationModel{}) {
+		c.Rejuvenation = DefaultRejuvenationModel()
+	}
+	if c.MaxVMs <= 0 {
+		c.MaxVMs = 2 * (c.InitialActive + c.InitialStandby)
+	}
+	return c
+}
+
+// Region is a pool of VMs managed as a unit by one Virtual Machine
+// Controller.
+type Region struct {
+	cfg  RegionConfig
+	rng  *simclock.RNG
+	vms  []*VM
+	next int // counter for provisioned VM IDs
+}
+
+// NewRegion builds the region's initial VM pool.  Active VMs are activated
+// immediately (activation latency is irrelevant before the simulation
+// starts).
+func NewRegion(cfg RegionConfig, rng *simclock.RNG) *Region {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = simclock.NewRNG(7)
+	}
+	r := &Region{cfg: cfg, rng: rng}
+	for i := 0; i < cfg.InitialActive+cfg.InitialStandby; i++ {
+		vm := r.newVM()
+		if i < cfg.InitialActive {
+			vm.state = StateActive
+		}
+	}
+	return r
+}
+
+// newVM provisions a VM object and appends it to the pool.
+func (r *Region) newVM() *VM {
+	r.next++
+	id := fmt.Sprintf("%s-vm%02d", r.cfg.Name, r.next)
+	vm := NewVM(VMConfig{
+		ID:           id,
+		Type:         r.cfg.Type,
+		Anomalies:    r.cfg.Anomalies,
+		Failure:      r.cfg.Failure,
+		Rejuvenation: r.cfg.Rejuvenation,
+	}, r.rng.Fork())
+	r.vms = append(r.vms, vm)
+	return vm
+}
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.cfg.Name }
+
+// Config returns the region configuration (with defaults applied).
+func (r *Region) Config() RegionConfig { return r.cfg }
+
+// VMs returns all VMs in the pool, in provisioning order.
+func (r *Region) VMs() []*VM { return r.vms }
+
+// VM returns the VM with the given ID, or nil.
+func (r *Region) VM(id string) *VM {
+	for _, vm := range r.vms {
+		if vm.ID() == id {
+			return vm
+		}
+	}
+	return nil
+}
+
+// byState returns the VMs currently in the given state.
+func (r *Region) byState(s VMState) []*VM {
+	var out []*VM
+	for _, vm := range r.vms {
+		if vm.State() == s {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// ActiveVMs returns the VMs currently serving requests.
+func (r *Region) ActiveVMs() []*VM { return r.byState(StateActive) }
+
+// StandbyVMs returns the healthy spare VMs.
+func (r *Region) StandbyVMs() []*VM { return r.byState(StateStandby) }
+
+// FailedVMs returns the VMs that reached their failure point and have not
+// been recovered yet.
+func (r *Region) FailedVMs() []*VM { return r.byState(StateFailed) }
+
+// RejuvenatingVMs returns the VMs currently being rejuvenated.
+func (r *Region) RejuvenatingVMs() []*VM { return r.byState(StateRejuvenating) }
+
+// Provision adds n new STANDBY VMs, respecting the MaxVMs cap, and returns
+// the VMs actually created.  This is the hypervisor-side half of the ADDVMS
+// elasticity action.
+func (r *Region) Provision(n int) []*VM {
+	var out []*VM
+	for i := 0; i < n; i++ {
+		if len(r.vms) >= r.cfg.MaxVMs {
+			break
+		}
+		out = append(out, r.newVM())
+	}
+	return out
+}
+
+// CanProvision reports whether at least one more VM fits under the cap.
+func (r *Region) CanProvision() bool { return len(r.vms) < r.cfg.MaxVMs }
+
+// ComputeCapacity returns the aggregate healthy-state service capacity of the
+// ACTIVE VMs, expressed in requests per second: for each active VM,
+// vCPUs / base service time, discounted by its current degradation.  It is
+// the quantity Policy 2 implicitly estimates through Q_i = RMTTF_i * f_i * λ.
+func (r *Region) ComputeCapacity() float64 {
+	total := 0.0
+	for _, vm := range r.ActiveVMs() {
+		base := vm.Type().BaseServiceMs / 1000
+		if base <= 0 {
+			continue
+		}
+		total += float64(vm.Type().VCPUs) / (base * vm.DegradationFactor())
+	}
+	return total
+}
+
+// TrueRMTTF returns the ground-truth Region Mean Time To Failure: the average
+// of the per-VM true RTTFs assuming the region's current request rate is
+// spread evenly across its active VMs.  The ML-driven system estimates this
+// quantity from features; tests use the ground truth to validate those
+// estimates.
+func (r *Region) TrueRMTTF(regionRatePerSec float64) float64 {
+	active := r.ActiveVMs()
+	if len(active) == 0 {
+		return 0
+	}
+	perVM := regionRatePerSec / float64(len(active))
+	sum := 0.0
+	for _, vm := range active {
+		sum += vm.TrueRTTF(perVM)
+	}
+	return sum / float64(len(active))
+}
+
+// HourlyCost returns the total on-demand cost per hour of every provisioned
+// VM in the region.
+func (r *Region) HourlyCost() float64 {
+	total := 0.0
+	for _, vm := range r.vms {
+		total += vm.Type().CostPerHour
+	}
+	return total
+}
+
+// Stats aggregates lifetime counters across the region's VMs.
+type Stats struct {
+	Region        string
+	VMs           int
+	Active        int
+	Standby       int
+	Failed        int
+	Rejuvenating  int
+	Served        uint64
+	Dropped       uint64
+	Crashes       uint64
+	Rejuvenations uint64
+	LeakedMB      float64
+}
+
+// Stats returns a snapshot of the region's aggregate counters.
+func (r *Region) Stats() Stats {
+	s := Stats{Region: r.cfg.Name, VMs: len(r.vms)}
+	for _, vm := range r.vms {
+		switch vm.State() {
+		case StateActive:
+			s.Active++
+		case StateStandby:
+			s.Standby++
+		case StateFailed:
+			s.Failed++
+		case StateRejuvenating:
+			s.Rejuvenating++
+		}
+		s.Served += vm.Served()
+		s.Dropped += vm.DroppedRequests()
+		s.Crashes += vm.Crashes()
+		s.Rejuvenations += vm.Rejuvenations()
+		s.LeakedMB += vm.LeakedMB()
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: vms=%d active=%d standby=%d failed=%d rejuv=%d served=%d dropped=%d crashes=%d",
+		s.Region, s.VMs, s.Active, s.Standby, s.Failed, s.Rejuvenating, s.Served, s.Dropped, s.Crashes)
+}
+
+// PaperRegion identifies one of the three regions of the paper's testbed.
+type PaperRegion int
+
+const (
+	// PaperRegion1 is Region 1: 6 m3.medium instances in the Ireland region
+	// of Amazon EC2.
+	PaperRegion1 PaperRegion = iota + 1
+	// PaperRegion2 is Region 2: 12 m3.small instances in the Frankfurt region
+	// of Amazon EC2.
+	PaperRegion2
+	// PaperRegion3 is Region 3: 4 private VMs (2 vCPU, 1 GB RAM) on an HP
+	// ProLiant server in Munich.
+	PaperRegion3
+)
+
+// PaperRegionConfig returns the RegionConfig matching the paper's testbed for
+// the given region.  Each region keeps a small standby pool so PCAM has spare
+// VMs to activate, as required by the proactive-takeover mechanism.
+func PaperRegionConfig(which PaperRegion) RegionConfig {
+	switch which {
+	case PaperRegion1:
+		return RegionConfig{
+			Name:           "region1",
+			Provider:       "aws",
+			Location:       "eu-west-1 (Ireland)",
+			Type:           M3Medium,
+			InitialActive:  6,
+			InitialStandby: 3,
+		}
+	case PaperRegion2:
+		return RegionConfig{
+			Name:           "region2",
+			Provider:       "aws",
+			Location:       "eu-central-1 (Frankfurt)",
+			Type:           M3Small,
+			InitialActive:  12,
+			InitialStandby: 6,
+		}
+	case PaperRegion3:
+		return RegionConfig{
+			Name:           "region3",
+			Provider:       "private",
+			Location:       "Munich",
+			Type:           PrivateVM,
+			InitialActive:  4,
+			InitialStandby: 2,
+		}
+	default:
+		panic(fmt.Sprintf("cloudsim: unknown paper region %d", which))
+	}
+}
+
+// PaperTestbed builds the requested paper regions, seeding each region's RNG
+// deterministically from the base seed.
+func PaperTestbed(seed uint64, which ...PaperRegion) []*Region {
+	sort.Slice(which, func(i, j int) bool { return which[i] < which[j] })
+	out := make([]*Region, 0, len(which))
+	for i, w := range which {
+		rng := simclock.NewRNG(seed + uint64(i)*1000003 + uint64(w))
+		out = append(out, NewRegion(PaperRegionConfig(w), rng))
+	}
+	return out
+}

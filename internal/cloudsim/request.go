@@ -1,0 +1,71 @@
+package cloudsim
+
+import (
+	"repro/internal/simclock"
+)
+
+// Request is one client interaction to be served by a VM hosting the server
+// replica.  The workload package generates requests according to the TPC-W
+// interaction mix; cloudsim only cares about the relative service demand of
+// each interaction class.
+type Request struct {
+	// ID is a unique identifier assigned by the workload generator.
+	ID uint64
+	// Class names the TPC-W interaction (e.g. "home", "search_request"),
+	// carried for tracing purposes.
+	Class string
+	// ServiceFactor scales the instance's base service demand: a value of 2
+	// means the interaction costs twice the base demand (e.g. a best-seller
+	// query hitting the database harder than serving the home page).
+	ServiceFactor float64
+	// EntryRegion is the region whose load balancer first received the
+	// request (before any cross-region forwarding decided by the plan).
+	EntryRegion string
+	// Arrival is the simulated time the request entered the system.
+	Arrival simclock.Time
+	// Forwarded reports whether the request was forwarded to a region other
+	// than its entry region by the global forward plan.
+	Forwarded bool
+	// OnDone, if non-nil, is invoked exactly once when the request completes
+	// (successfully or not).
+	OnDone func(Outcome)
+}
+
+// Outcome describes how a request terminated.
+type Outcome struct {
+	// Request echoes the originating request.
+	Request *Request
+	// VM is the identifier of the VM that served (or dropped) the request;
+	// empty if no VM could be found.
+	VM string
+	// Region is the region that processed the request.
+	Region string
+	// Start is the time service began (queue exit).
+	Start simclock.Time
+	// End is the completion (or drop) time.
+	End simclock.Time
+	// Dropped is true when the request was not served: the VM crashed while
+	// the request was queued or in service, or no ACTIVE VM was available.
+	Dropped bool
+}
+
+// ResponseTime returns the end-to-end latency observed by the client: time
+// from arrival at the load balancer to completion.
+func (o Outcome) ResponseTime() simclock.Duration {
+	if o.Request == nil {
+		return 0
+	}
+	return o.End.Sub(o.Request.Arrival)
+}
+
+// ServiceTime returns the time the request actually spent in service.
+func (o Outcome) ServiceTime() simclock.Duration { return o.End.Sub(o.Start) }
+
+// finish invokes the completion callback exactly once.
+func (r *Request) finish(o Outcome) {
+	if r.OnDone != nil {
+		cb := r.OnDone
+		r.OnDone = nil
+		cb(o)
+	}
+}

@@ -1,0 +1,12 @@
+// Package core implements the paper's primary contribution: the proactive
+// load-balancing policies that distribute client requests across
+// heterogeneous cloud regions so that the Region Mean Time To Failure (RMTTF)
+// of every region converges to the same value, together with the supporting
+// machinery — the weighted RMTTF aggregation of equation (1), the global
+// forward plan that realises the chosen fractions, and the Monitor → Analyze
+// → Plan → Execute closed control loop of Section V.
+//
+// The three policies of Section IV are provided (Sensible Routing, Available
+// Resources Estimation, Exploration), plus the uniform and static baselines
+// the reproduction uses as reference points.
+package core

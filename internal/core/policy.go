@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolicyInput is the information available to a policy when it recomputes the
+// workload fractions at the leader VMC: the smoothed RMTTF of every region
+// (equation 1), the fractions decided at the previous control era, and the
+// global incoming request rate λ.
+type PolicyInput struct {
+	// Regions names the regions, in the same order as the other slices.
+	Regions []string
+	// RMTTF is the current (smoothed) Region Mean Time To Failure of each
+	// region, in seconds.
+	RMTTF []float64
+	// PrevFractions are the fractions f_i decided at era t-1.  They sum to 1.
+	PrevFractions []float64
+	// Lambda is the global incoming request rate in requests per second.
+	Lambda float64
+}
+
+// validate checks the slices are consistent.
+func (in PolicyInput) validate() error {
+	n := len(in.Regions)
+	if n == 0 {
+		return fmt.Errorf("core: policy input with no regions")
+	}
+	if len(in.RMTTF) != n || len(in.PrevFractions) != n {
+		return fmt.Errorf("core: policy input slice lengths mismatch (regions=%d rmttf=%d prev=%d)",
+			n, len(in.RMTTF), len(in.PrevFractions))
+	}
+	return nil
+}
+
+// Policy decides the fraction f_i of global incoming requests to forward to
+// each cloud region.
+type Policy interface {
+	// Name returns the policy's display name.
+	Name() string
+	// Fractions returns the new workload fractions.  Implementations must
+	// return a vector of the same length as the input regions, with
+	// non-negative entries summing to 1.
+	Fractions(in PolicyInput) ([]float64, error)
+}
+
+// Normalize clamps negative entries to zero and rescales the vector to sum to
+// 1.  A vector that sums to zero (or contains only non-finite values) becomes
+// the uniform distribution — the safest fallback for a load balancer.
+func Normalize(f []float64) []float64 {
+	out := make([]float64, len(f))
+	sum := 0.0
+	for i, v := range f {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = v
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SensibleRouting is Policy 1 of the paper, based on Wang and Gelenbe's
+// sensible routing: the fraction of requests forwarded to a region is
+// proportional to the weight of its current RMTTF over the sum of the RMTTFs
+// of all regions (equation 2).
+type SensibleRouting struct{}
+
+// Name implements Policy.
+func (SensibleRouting) Name() string { return "policy1-sensible-routing" }
+
+// Fractions implements Policy (equation 2).
+func (SensibleRouting) Fractions(in PolicyInput) ([]float64, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	return Normalize(append([]float64(nil), in.RMTTF...)), nil
+}
+
+// AvailableResources is Policy 2 of the paper: a single numeric parameter
+// Q_i = RMTTF_i * f_i * λ abstracts the amount of available resources in a
+// region (equation 3), under the assumption that resources are linearly
+// consumed by the incoming requests; the new fraction of a region is
+// proportional to its estimated resources (equation 4).
+type AvailableResources struct {
+	// MinFraction optionally floors every region's fraction so that a region
+	// that momentarily receives no traffic keeps producing fresh RMTTF
+	// observations.  Zero (the paper's formulation) applies no floor.
+	MinFraction float64
+}
+
+// Name implements Policy.
+func (AvailableResources) Name() string { return "policy2-available-resources" }
+
+// Fractions implements Policy (equations 3 and 4).
+func (p AvailableResources) Fractions(in PolicyInput) ([]float64, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	lambda := in.Lambda
+	if lambda <= 0 {
+		// λ only scales every Q_i by the same constant, so the fractions are
+		// unaffected; use 1 to keep the estimate well defined.
+		lambda = 1
+	}
+	q := make([]float64, len(in.Regions))
+	for i := range q {
+		q[i] = in.RMTTF[i] * in.PrevFractions[i] * lambda
+	}
+	out := Normalize(q)
+	if p.MinFraction > 0 {
+		for i := range out {
+			if out[i] < p.MinFraction {
+				out[i] = p.MinFraction
+			}
+		}
+		out = Normalize(out)
+	}
+	return out, nil
+}
+
+// Exploration is Policy 3 of the paper, a hill-climbing-inspired exploration
+// strategy (equations 5–9): regions whose RMTTF is below the average RMTTF
+// (ARMTTF) are treated as overloaded and have their fraction scaled down by
+// RMTTF_i/ARMTTF · k; the flow taken away from them (Δf) is redistributed to
+// the underloaded regions (RMTTF above the average) proportionally to their
+// RMTTF, and the result is renormalised so the fractions keep summing to 1 as
+// the paper requires.
+//
+// Note on fidelity: the prose of Section IV-C and equations (6)–(9) are not
+// mutually consistent in the paper (the prose says high-RMTTF regions are
+// decreased, the equations scale down the low-RMTTF ones).  We follow the
+// equations and the obvious control-theoretic intent — regions that are
+// failing sooner (low RMTTF, i.e. overloaded) must receive less traffic —
+// which is also the only reading under which the policy can converge.
+type Exploration struct {
+	// K is the constant scaling factor k of equations (6) and (8).  Zero means
+	// 1 (pure proportional step).
+	K float64
+	// Jitter adds a small multiplicative random perturbation (±Jitter) to each
+	// step, modelling the "intrinsic randomness" of exploration approaches the
+	// paper mentions.  Zero disables it; the perturbation uses a deterministic
+	// internal sequence so experiments stay reproducible.
+	Jitter float64
+
+	jitterState uint64
+}
+
+// Name implements Policy.
+func (*Exploration) Name() string { return "policy3-exploration" }
+
+// nextJitter returns a deterministic pseudo-random value in [-1, 1).
+func (p *Exploration) nextJitter() float64 {
+	p.jitterState = p.jitterState*6364136223846793005 + 1442695040888963407
+	return float64(p.jitterState>>11)/(1<<52) - 1
+}
+
+// Fractions implements Policy (equations 5–9).
+func (p *Exploration) Fractions(in PolicyInput) ([]float64, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Regions)
+	k := p.K
+	if k <= 0 {
+		k = 1
+	}
+
+	// Equation (5): average RMTTF over all regions.
+	armttf := 0.0
+	for _, v := range in.RMTTF {
+		armttf += v
+	}
+	armttf /= float64(n)
+	if armttf <= 0 {
+		return Normalize(append([]float64(nil), in.PrevFractions...)), nil
+	}
+
+	sumRMTTF := armttf * float64(n)
+	next := make([]float64, n)
+
+	// Equation (6): overloaded regions (RMTTF below average) are scaled down.
+	deltaOverloaded := 0.0 // Δf_< of equation (7): total flow removed (negative sum)
+	for i := range next {
+		if in.RMTTF[i] < armttf {
+			next[i] = in.RMTTF[i] / armttf * in.PrevFractions[i] * k
+			deltaOverloaded += next[i] - in.PrevFractions[i]
+		}
+	}
+	freed := -deltaOverloaded
+	if freed < 0 {
+		freed = 0
+	}
+
+	// Equation (8): the freed flow is redistributed to the underloaded
+	// regions (RMTTF above average), proportionally to their RMTTF share.
+	for i := range next {
+		if in.RMTTF[i] >= armttf {
+			share := in.RMTTF[i] / sumRMTTF
+			next[i] = in.PrevFractions[i] + freed*share*k
+		}
+	}
+
+	if p.Jitter > 0 {
+		for i := range next {
+			next[i] *= 1 + p.Jitter*p.nextJitter()
+		}
+	}
+	// The paper requires Σ f_i = 1 to hold after every update.
+	return Normalize(next), nil
+}
+
+// Uniform is the static baseline that splits the workload evenly across the
+// regions, ignoring their health and capacity.  The reproduction uses it to
+// quantify what the MTTF-driven policies buy.
+type Uniform struct{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "baseline-uniform" }
+
+// Fractions implements Policy.
+func (Uniform) Fractions(in PolicyInput) ([]float64, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(in.Regions))
+	for i := range out {
+		out[i] = 1 / float64(len(out))
+	}
+	return out, nil
+}
+
+// Static always returns a fixed, pre-computed fraction vector (for example
+// proportional to the nominal capacity of each region).  It models a manually
+// tuned deployment that never adapts at runtime.
+type Static struct {
+	// Weights are the fixed per-region weights (normalised on use).
+	Weights []float64
+}
+
+// Name implements Policy.
+func (Static) Name() string { return "baseline-static" }
+
+// Fractions implements Policy.
+func (s Static) Fractions(in PolicyInput) ([]float64, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Weights) != len(in.Regions) {
+		return nil, fmt.Errorf("core: static policy has %d weights for %d regions", len(s.Weights), len(in.Regions))
+	}
+	return Normalize(append([]float64(nil), s.Weights...)), nil
+}
+
+// ByName constructs one of the named policies:
+// "policy1" / "sensible" → Policy 1, "policy2" / "resources" → Policy 2,
+// "policy3" / "exploration" → Policy 3, "uniform" → uniform baseline.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "policy1", "sensible", "sensible-routing", "policy1-sensible-routing":
+		return SensibleRouting{}, nil
+	case "policy2", "resources", "available-resources", "policy2-available-resources":
+		return AvailableResources{}, nil
+	case "policy3", "exploration", "policy3-exploration":
+		return &Exploration{K: 1}, nil
+	case "uniform", "baseline-uniform":
+		return Uniform{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (valid: policy1, policy2, policy3, uniform)", name)
+	}
+}

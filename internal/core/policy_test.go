@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func validFractions(t *testing.T, f []float64, n int) {
+	t.Helper()
+	if len(f) != n {
+		t.Fatalf("fraction vector length = %d, want %d", len(f), n)
+	}
+	for i, v := range f {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("fraction %d = %v, want finite non-negative", i, v)
+		}
+	}
+	if s := sumOf(f); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v, want 1", s)
+	}
+}
+
+func threeRegionInput(rmttf []float64, prev []float64, lambda float64) PolicyInput {
+	return PolicyInput{
+		Regions:       []string{"region1", "region2", "region3"},
+		RMTTF:         rmttf,
+		PrevFractions: prev,
+		Lambda:        lambda,
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 6, 2})
+	want := []float64{0.2, 0.6, 0.2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	// Negative, NaN and Inf entries are clamped to zero.
+	got = Normalize([]float64{-1, math.NaN(), math.Inf(1), 3})
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 || got[3] != 1 {
+		t.Fatalf("Normalize with invalid entries = %v", got)
+	}
+	// All-zero falls back to uniform.
+	got = Normalize([]float64{0, 0, 0, 0})
+	for _, v := range got {
+		if v != 0.25 {
+			t.Fatalf("Normalize of zeros = %v, want uniform", got)
+		}
+	}
+}
+
+func TestPolicyInputValidation(t *testing.T) {
+	var p SensibleRouting
+	if _, err := p.Fractions(PolicyInput{}); err == nil {
+		t.Errorf("empty input should be rejected")
+	}
+	if _, err := p.Fractions(PolicyInput{Regions: []string{"a"}, RMTTF: []float64{1, 2}, PrevFractions: []float64{1}}); err == nil {
+		t.Errorf("mismatched lengths should be rejected")
+	}
+}
+
+func TestSensibleRoutingEquation2(t *testing.T) {
+	f, err := SensibleRouting{}.Fractions(threeRegionInput(
+		[]float64{3000, 6000, 1000}, []float64{0.4, 0.4, 0.2}, 50))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, f, 3)
+	// f_i = RMTTF_i / ΣRMTTF = 0.3, 0.6, 0.1.
+	want := []float64{0.3, 0.6, 0.1}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-9 {
+			t.Fatalf("policy1 fractions = %v, want %v", f, want)
+		}
+	}
+	if (SensibleRouting{}).Name() == "" {
+		t.Fatalf("policy must have a name")
+	}
+}
+
+func TestAvailableResourcesEquations3And4(t *testing.T) {
+	// Q_i = RMTTF_i * f_i * λ; the fractions are Q_i normalised.
+	f, err := AvailableResources{}.Fractions(threeRegionInput(
+		[]float64{2000, 1000, 4000}, []float64{0.5, 0.3, 0.2}, 80))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, f, 3)
+	q := []float64{2000 * 0.5, 1000 * 0.3, 4000 * 0.2} // λ cancels in the normalisation
+	want := Normalize(q)
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-9 {
+			t.Fatalf("policy2 fractions = %v, want %v", f, want)
+		}
+	}
+}
+
+func TestAvailableResourcesZeroLambdaAndMinFraction(t *testing.T) {
+	// λ = 0 must not break the estimate (it scales all Q_i identically).
+	f, err := AvailableResources{}.Fractions(threeRegionInput(
+		[]float64{1000, 1000, 1000}, []float64{0.2, 0.3, 0.5}, 0))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, f, 3)
+	if math.Abs(f[2]-0.5) > 1e-9 {
+		t.Fatalf("with equal RMTTFs the fractions should follow the previous ones, got %v", f)
+	}
+
+	// MinFraction floors starved regions.
+	floored, err := AvailableResources{MinFraction: 0.1}.Fractions(threeRegionInput(
+		[]float64{1000, 1000, 1000}, []float64{0.0, 0.5, 0.5}, 10))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, floored, 3)
+	if floored[0] < 0.05 {
+		t.Fatalf("MinFraction should lift the starved region above zero, got %v", floored)
+	}
+}
+
+func TestExplorationShiftsLoadTowardHealthyRegions(t *testing.T) {
+	p := &Exploration{K: 1}
+	prev := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	// Region 3 is failing much sooner (overloaded): it must lose traffic;
+	// region 2 has the largest RMTTF: it must gain traffic.
+	f, err := p.Fractions(threeRegionInput([]float64{3000, 6000, 500}, prev, 40))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, f, 3)
+	if f[2] >= prev[2] {
+		t.Fatalf("overloaded region should lose traffic: %v", f)
+	}
+	if f[1] <= prev[1] {
+		t.Fatalf("healthiest region should gain traffic: %v", f)
+	}
+	if p.Name() == "" {
+		t.Fatalf("policy must have a name")
+	}
+}
+
+func TestExplorationZeroRMTTFFallsBack(t *testing.T) {
+	p := &Exploration{}
+	prev := []float64{0.7, 0.2, 0.1}
+	f, err := p.Fractions(threeRegionInput([]float64{0, 0, 0}, prev, 10))
+	if err != nil {
+		t.Fatalf("Fractions: %v", err)
+	}
+	validFractions(t, f, 3)
+	for i := range prev {
+		if math.Abs(f[i]-prev[i]) > 1e-9 {
+			t.Fatalf("with zero RMTTFs the previous fractions should be kept, got %v", f)
+		}
+	}
+}
+
+func TestExplorationJitterIsDeterministic(t *testing.T) {
+	in := threeRegionInput([]float64{3000, 6000, 500}, []float64{0.4, 0.4, 0.2}, 40)
+	a := &Exploration{K: 1, Jitter: 0.05}
+	b := &Exploration{K: 1, Jitter: 0.05}
+	fa, err := a.Fractions(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fractions(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("jittered exploration should be deterministic across identical instances: %v vs %v", fa, fb)
+		}
+	}
+	validFractions(t, fa, 3)
+}
+
+func TestUniformAndStaticBaselines(t *testing.T) {
+	in := threeRegionInput([]float64{10, 20, 30}, []float64{0.1, 0.1, 0.8}, 5)
+	u, err := Uniform{}.Fractions(in)
+	if err != nil {
+		t.Fatalf("uniform: %v", err)
+	}
+	validFractions(t, u, 3)
+	for _, v := range u {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform fractions = %v", u)
+		}
+	}
+
+	s, err := Static{Weights: []float64{6, 12, 4}}.Fractions(in)
+	if err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	validFractions(t, s, 3)
+	if math.Abs(s[1]-12.0/22) > 1e-9 {
+		t.Fatalf("static fractions = %v", s)
+	}
+	if _, err := (Static{Weights: []float64{1}}).Fractions(in); err == nil {
+		t.Fatalf("static with wrong weight count should fail")
+	}
+	if (Uniform{}).Name() == "" || (Static{}).Name() == "" {
+		t.Fatalf("baselines must have names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"policy1", "sensible", "policy2", "resources", "policy3", "exploration", "uniform"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("ByName(%q) returned unnamed policy", name)
+		}
+	}
+	if _, err := ByName("does-not-exist"); err == nil {
+		t.Fatalf("unknown policy name should fail")
+	}
+}
+
+// Property: every policy returns non-negative fractions summing to 1 for any
+// positive RMTTF vector and any valid previous fraction vector.
+func TestPoliciesProduceValidDistributionsProperty(t *testing.T) {
+	policies := []Policy{
+		SensibleRouting{},
+		AvailableResources{},
+		AvailableResources{MinFraction: 0.05},
+		&Exploration{K: 1},
+		&Exploration{K: 0.8, Jitter: 0.1},
+		Uniform{},
+	}
+	f := func(r1, r2, r3 uint16, p1, p2, p3 uint8, lambda uint8) bool {
+		rmttf := []float64{float64(r1) + 1, float64(r2) + 1, float64(r3) + 1}
+		prev := Normalize([]float64{float64(p1) + 1, float64(p2) + 1, float64(p3) + 1})
+		in := threeRegionInput(rmttf, prev, float64(lambda))
+		for _, p := range policies {
+			out, err := p.Fractions(in)
+			if err != nil {
+				return false
+			}
+			if len(out) != 3 {
+				return false
+			}
+			s := 0.0
+			for _, v := range out {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closedLoopModel iterates a policy against an analytic region model in which
+// the RMTTF of region i is inversely proportional to the request rate it
+// receives: RMTTF_i = C_i / (f_i * λ).  C_i is the region's anomaly budget
+// (bigger regions absorb more requests before failing).  This is the
+// idealised version of what the cloud simulator produces and lets the test
+// verify the qualitative claims of Section VI-B at the policy level.
+func closedLoopModel(p Policy, capacities []float64, lambda float64, iters int) (rmttf []float64, fractions []float64, spreads []float64) {
+	n := len(capacities)
+	fractions = make([]float64, n)
+	for i := range fractions {
+		fractions[i] = 1 / float64(n)
+	}
+	rmttf = make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := range rmttf {
+			f := fractions[i]
+			if f < 1e-6 {
+				f = 1e-6
+			}
+			rmttf[i] = capacities[i] / (f * lambda)
+		}
+		spreads = append(spreads, spread(rmttf))
+		next, err := p.Fractions(PolicyInput{
+			Regions:       make([]string, n),
+			RMTTF:         append([]float64(nil), rmttf...),
+			PrevFractions: fractions,
+			Lambda:        lambda,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fractions = next
+	}
+	return rmttf, fractions, spreads
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	m := sumOf(xs) / float64(len(xs))
+	if m == 0 {
+		return 0
+	}
+	return (hi - lo) / m
+}
+
+// tailMax returns the maximum of the last k values.
+func tailMax(xs []float64, k int) float64 {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	m := 0.0
+	for _, v := range xs[len(xs)-k:] {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+func TestPolicy2EqualisesRMTTFInClosedLoop(t *testing.T) {
+	capacities := []float64{90000, 81600, 16400} // ∝ paper regions 1, 2, 3
+	rmttf, fractions, spreads := closedLoopModel(AvailableResources{}, capacities, 70, 30)
+	// The RMTTF spread must stay near zero over the whole steady-state tail,
+	// not just at the final sample.
+	if s := tailMax(spreads, 10); s > 0.02 {
+		t.Fatalf("policy2 should equalise the region RMTTFs, tail spread = %v (rmttf=%v)", s, rmttf)
+	}
+	// The fractions must end up proportional to the capacities.
+	wantFrac := Normalize(capacities)
+	for i := range wantFrac {
+		if math.Abs(fractions[i]-wantFrac[i]) > 0.02 {
+			t.Fatalf("policy2 fractions = %v, want ≈ %v", fractions, wantFrac)
+		}
+	}
+}
+
+func TestPolicy1DoesNotEqualiseRMTTFInClosedLoop(t *testing.T) {
+	capacities := []float64{90000, 81600, 16400}
+	rmttf, _, spreads := closedLoopModel(SensibleRouting{}, capacities, 70, 60)
+	// Sensible routing keeps over-correcting: the fractions (and with them the
+	// RMTTFs) oscillate instead of settling at a common value, which is what
+	// Figures 3 and 4 of the paper show.  The spread therefore keeps returning
+	// to large values in the steady-state tail.
+	if s := tailMax(spreads, 10); s < 0.3 {
+		t.Fatalf("policy1 should NOT keep the RMTTFs equalised for heterogeneous regions, tail spread = %v (rmttf=%v)", s, rmttf)
+	}
+}
+
+func TestPolicy3ReducesRMTTFSpreadInClosedLoop(t *testing.T) {
+	capacities := []float64{90000, 81600, 16400}
+	_, _, spreads := closedLoopModel(&Exploration{K: 1}, capacities, 70, 80)
+	early := spreads[0]
+	if late := tailMax(spreads, 10); late >= early*0.5 {
+		t.Fatalf("policy3 should substantially reduce the RMTTF spread over time: early=%v late=%v", early, late)
+	}
+}
+
+func TestPolicy2ConvergesFasterThanPolicy3(t *testing.T) {
+	capacities := []float64{90000, 81600, 16400}
+	const lambda, horizon = 70.0, 12
+	_, _, s2 := closedLoopModel(AvailableResources{}, capacities, lambda, horizon)
+	_, _, s3 := closedLoopModel(&Exploration{K: 1}, capacities, lambda, horizon)
+	if tailMax(s2, 3) >= tailMax(s3, 3) {
+		t.Fatalf("after %d eras policy2 should be closer to convergence than policy3: p2=%v p3=%v",
+			horizon, tailMax(s2, 3), tailMax(s3, 3))
+	}
+}
+
+func BenchmarkPolicy2Fractions(b *testing.B) {
+	in := threeRegionInput([]float64{3000, 6000, 500}, []float64{0.4, 0.4, 0.2}, 70)
+	p := AvailableResources{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fractions(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicy3Fractions(b *testing.B) {
+	in := threeRegionInput([]float64{3000, 6000, 500}, []float64{0.4, 0.4, 0.2}, 70)
+	p := &Exploration{K: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fractions(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+)
+
+// AblationPoint is one row of an ablation sweep: the value of the swept
+// parameter and the summary metrics of the corresponding run.
+type AblationPoint struct {
+	// Parameter names the swept knob ("beta", "k", "policy", ...).
+	Parameter string
+	// Value is the numeric value of the knob (0 when the knob is categorical;
+	// see Label).
+	Value float64
+	// Label is the human-readable value (used for categorical knobs).
+	Label string
+	// Converged, Spread and ConvergenceTime summarise RMTTF convergence.
+	Converged       bool
+	Spread          float64
+	ConvergenceTime float64
+	// FractionOscillation is the tail oscillation of the workload fractions.
+	FractionOscillation float64
+	// MeanResponseTime is the mean client response time in seconds.
+	MeanResponseTime float64
+	// CrossRegionFraction is the fraction of requests forwarded between
+	// regions (redirection overhead).
+	CrossRegionFraction float64
+}
+
+func pointFromResult(param string, value float64, label string, r *Result) AblationPoint {
+	return AblationPoint{
+		Parameter:           param,
+		Value:               value,
+		Label:               label,
+		Converged:           r.RMTTFConvergence.Converged,
+		Spread:              r.RMTTFConvergence.RelativeSpread,
+		ConvergenceTime:     r.RMTTFConvergence.ConvergenceTime,
+		FractionOscillation: r.FractionOscillation,
+		MeanResponseTime:    r.MeanResponseTime,
+		CrossRegionFraction: r.ForwardedFraction,
+	}
+}
+
+// BetaSweep reruns the scenario under the given policy for each smoothing
+// factor β of equation (1).  The paper fixes β implicitly; the sweep shows
+// how much the convergence behaviour depends on it.
+func BetaSweep(sc Scenario, np NamedPolicy, betas []float64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, beta := range betas {
+		s := sc
+		s.Beta = beta
+		s.Name = fmt.Sprintf("%s-beta%.2f", sc.Name, beta)
+		res, err := Run(s, np)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFromResult("beta", beta, fmt.Sprintf("β=%.2f", beta), res))
+	}
+	return out, nil
+}
+
+// ExplorationKSweep reruns the scenario under Policy 3 for each scaling
+// factor k of equations (6) and (8).
+func ExplorationKSweep(sc Scenario, ks []float64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, k := range ks {
+		s := sc
+		s.Name = fmt.Sprintf("%s-k%.2f", sc.Name, k)
+		np := NamedPolicy{Key: fmt.Sprintf("policy3-k%.2f", k), Label: fmt.Sprintf("Policy 3 (k=%.2f)", k),
+			Policy: &core.Exploration{K: k}}
+		res, err := Run(s, np)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFromResult("k", k, fmt.Sprintf("k=%.2f", k), res))
+	}
+	return out, nil
+}
+
+// BaselineComparison runs Policy 2 against the non-adaptive baselines: the
+// uniform split and a static split proportional to each region's nominal
+// compute capacity.  It quantifies what MTTF-driven balancing buys over
+// "reasonable" static configurations.
+func BaselineComparison(sc Scenario) (map[string]*Result, error) {
+	sc = sc.withDefaults()
+	weights := make([]float64, len(sc.Regions))
+	for i, rs := range sc.Regions {
+		weights[i] = float64(rs.Region.InitialActive) * rs.Region.Type.RelativeSpeed()
+	}
+	candidates := []NamedPolicy{
+		{Key: "policy2", Label: "Policy 2 (available resources)", Policy: core.AvailableResources{}},
+		{Key: "uniform", Label: "Uniform baseline", Policy: core.Uniform{}},
+		{Key: "static", Label: "Static capacity-proportional baseline", Policy: core.Static{Weights: weights}},
+	}
+	out := map[string]*Result{}
+	for _, np := range candidates {
+		res, err := Run(sc, np)
+		if err != nil {
+			return nil, err
+		}
+		out[np.Key] = res
+	}
+	return out, nil
+}
+
+// PredictorComparison runs the same scenario and policy with the oracle
+// predictor and with the trained F2PM model, quantifying the cost of
+// prediction error (an ablation the paper's companion works motivate).
+func PredictorComparison(sc Scenario, np NamedPolicy) (map[string]*Result, error) {
+	sc = sc.withDefaults()
+	out := map[string]*Result{}
+	for _, mode := range []struct {
+		key  string
+		mode acm.PredictorMode
+	}{{"oracle", acm.PredictorOracle}, {"ml", acm.PredictorML}} {
+		s := sc
+		s.Predictor = mode.mode
+		s.Name = fmt.Sprintf("%s-%s", sc.Name, mode.key)
+		res, err := Run(s, np)
+		if err != nil {
+			return nil, err
+		}
+		out[mode.key] = res
+	}
+	return out, nil
+}
+
+// AblationTable renders ablation points as an aligned text table.
+func AblationTable(points []AblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %11s %12s %10s %10s\n",
+		"value", "converged", "spread", "convTime", "fOscillation", "meanRT(s)", "crossRegion")
+	for _, p := range points {
+		conv := "no"
+		if p.Converged {
+			conv = "yes"
+		}
+		convTime := "never"
+		if p.Converged {
+			if math.IsInf(p.ConvergenceTime, 1) {
+				convTime = "n/a"
+			} else {
+				convTime = fmt.Sprintf("%.0fs", p.ConvergenceTime)
+			}
+		}
+		label := p.Label
+		if label == "" {
+			label = fmt.Sprintf("%s=%.2f", p.Parameter, p.Value)
+		}
+		fmt.Fprintf(&b, "%-12s %9s %9.3f %11s %12.4f %10.3f %10.4f\n",
+			label, conv, p.Spread, convTime, p.FractionOscillation, p.MeanResponseTime, p.CrossRegionFraction)
+	}
+	return b.String()
+}

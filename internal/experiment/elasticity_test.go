@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestElasticityScenarioAddsVMsAfterSurge exercises the ADDVMS action of
+// Section V end to end: a workload surge triples the client population of the
+// under-provisioned region halfway through the run, and the region's
+// controller must grow its active pool in response while keeping the mean
+// response time under the SLA.
+func TestElasticityScenarioAddsVMsAfterSurge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elasticity scenario runs a 90-minute simulation")
+	}
+	sc := ElasticityScenario(11)
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatalf("PolicyByKey: %v", err)
+	}
+	res, err := Run(sc, np)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	active := res.Recorder.Series("active_vms", "region1")
+	if active.Len() == 0 {
+		t.Fatalf("active-VM series missing")
+	}
+	surgeT := sc.Regions[0].SurgeAt.Seconds()
+	before := activeAround(active, surgeT-300)
+	after := stats.Max(active.Tail(0.25))
+	if before < 2 || before > 4 {
+		t.Fatalf("before the surge the region should run close to its initial 3 active VMs, got %v", before)
+	}
+	if after <= before {
+		t.Fatalf("ADDVMS should have grown the active pool after the surge: before=%v after=%v", before, after)
+	}
+	// The controller must keep (or restore) an acceptable client experience:
+	// the steady-state response time after the surge stays under the SLA.
+	if res.TailResponseTime >= 1.0 {
+		t.Fatalf("tail response time %v should stay below the 1 s SLA", res.TailResponseTime)
+	}
+	// The surge deliberately overwhelms an under-provisioned region, so some
+	// requests are lost during the transition; the run as a whole must still
+	// complete the large majority of them.
+	if res.SuccessRatio < 0.8 {
+		t.Fatalf("success ratio collapsed: %v", res.SuccessRatio)
+	}
+}
+
+// activeAround returns the series value at the given time (step interpolation).
+func activeAround(s *stats.Series, t float64) float64 { return s.At(t) }
+
+func TestElasticityScenarioShape(t *testing.T) {
+	sc := ElasticityScenario(3)
+	if len(sc.Regions) != 2 {
+		t.Fatalf("elasticity scenario should have two regions")
+	}
+	if sc.Regions[0].SurgeClients == 0 || sc.Regions[0].SurgeAt == 0 {
+		t.Fatalf("the first region must carry the surge")
+	}
+	if !sc.VMC.ElasticityEnabled {
+		t.Fatalf("elasticity must be enabled in the VMC config")
+	}
+	if sc.Regions[0].Region.InitialActive >= 6 {
+		t.Fatalf("the surged region should start under-provisioned")
+	}
+}

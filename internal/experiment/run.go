@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/acm"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of running one scenario under one policy: the raw
+// time series (for regenerating the figures) plus the summary metrics used to
+// assess the qualitative claims of Section VI-B.
+type Result struct {
+	// Scenario echoes the scenario that was run.
+	Scenario Scenario
+	// PolicyKey and PolicyLabel identify the policy under test.
+	PolicyKey   string
+	PolicyLabel string
+
+	// Recorder holds the raw series: "rmttf", "fraction", "response_time",
+	// "active_vms", "lambda", "cross_region".
+	Recorder *trace.Recorder
+
+	// RMTTFConvergence judges whether the per-region RMTTFs converged to a
+	// common value (the paper's primary question).
+	RMTTFConvergence stats.ConvergenceReport
+	// FractionOscillation is the mean oscillation index of the f_i series
+	// over the steady-state tail (stability of the workload fractions).
+	FractionOscillation float64
+	// FractionDirectionChanges is the mean number of direction changes of the
+	// f_i series in the tail — the "many redirections of the request flow"
+	// overhead the paper attributes to Policy 1 with three regions.
+	FractionDirectionChanges float64
+
+	// MeanResponseTime is the lifetime mean client response time (seconds).
+	MeanResponseTime float64
+	// TailResponseTime is the mean of the response-time series over the
+	// steady-state tail (seconds).
+	TailResponseTime float64
+	// SLAViolationRatio is the fraction of completed requests slower than the
+	// 1-second SLA.
+	SLAViolationRatio float64
+	// SuccessRatio is completed / issued requests.
+	SuccessRatio float64
+
+	// ForwardedFraction is the fraction of requests forwarded across regions.
+	ForwardedFraction float64
+	// Eras is the number of completed control eras.
+	Eras uint64
+	// ProactiveRejuvenations, ReactiveRecoveries and Crashes aggregate the
+	// dependability counters over all regions.
+	ProactiveRejuvenations uint64
+	ReactiveRecoveries     uint64
+	Crashes                uint64
+	// FinalFractions are the fractions installed at the end of the run.
+	FinalFractions []float64
+}
+
+// Run executes the scenario under the given policy and collects the result.
+func Run(sc Scenario, np NamedPolicy) (*Result, error) {
+	sc = sc.withDefaults()
+	mgr, err := acm.NewManager(acm.Config{
+		Seed:            sc.Seed,
+		Regions:         sc.Regions,
+		Policy:          np.Policy,
+		Beta:            sc.Beta,
+		ControlInterval: sc.ControlInterval,
+		VMC:             sc.VMC,
+		Predictor:       sc.Predictor,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario %s policy %s: %w", sc.Name, np.Key, err)
+	}
+	if err := mgr.Run(sc.Horizon); err != nil {
+		return nil, fmt.Errorf("experiment: running %s/%s: %w", sc.Name, np.Key, err)
+	}
+	return summarize(sc, np, mgr), nil
+}
+
+// RunAllPolicies runs the scenario under the paper's three policies and
+// returns the results keyed by policy key.
+func RunAllPolicies(sc Scenario) (map[string]*Result, error) {
+	out := map[string]*Result{}
+	for _, np := range Policies() {
+		res, err := Run(sc, np)
+		if err != nil {
+			return nil, err
+		}
+		out[np.Key] = res
+	}
+	return out, nil
+}
+
+// summarize extracts the summary metrics from a finished run.
+func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
+	rec := mgr.Recorder()
+	met := mgr.Metrics()
+
+	res := &Result{
+		Scenario:       sc,
+		PolicyKey:      np.Key,
+		PolicyLabel:    np.Label,
+		Recorder:       rec,
+		Eras:           mgr.Eras(),
+		FinalFractions: mgr.Loop().Fractions(),
+	}
+
+	rmttfSet := rec.Set("rmttf")
+	res.RMTTFConvergence = rmttfSet.Analyze(sc.TailFraction, sc.ConvergenceTolerance)
+
+	fractionSet := rec.Set("fraction")
+	osc, dirs := 0.0, 0.0
+	if n := len(fractionSet.Series); n > 0 {
+		for _, s := range fractionSet.Series {
+			osc += s.OscillationIndex(sc.TailFraction)
+			dirs += float64(s.DirectionChanges(sc.TailFraction))
+		}
+		osc /= float64(n)
+		dirs /= float64(n)
+	}
+	res.FractionOscillation = osc
+	res.FractionDirectionChanges = dirs
+
+	res.MeanResponseTime = met.MeanResponseTime("")
+	res.TailResponseTime = rec.Series("response_time", "all_clients").TailMean(sc.TailFraction)
+	if completed := met.Completed(""); completed > 0 {
+		res.SLAViolationRatio = float64(met.SLAViolations("")) / float64(completed)
+	}
+	res.SuccessRatio = met.SuccessRatio("")
+
+	if total := mgr.ForwardedRequests() + mgr.LocalRequests(); total > 0 {
+		res.ForwardedFraction = float64(mgr.ForwardedRequests()) / float64(total)
+	}
+	for _, s := range mgr.VMCStats() {
+		res.ProactiveRejuvenations += s.ProactiveRejuvenations
+		res.ReactiveRecoveries += s.ReactiveRecoveries
+	}
+	for _, s := range mgr.RegionStats() {
+		res.Crashes += s.Crashes
+	}
+	return res
+}
+
+// Claims captures the qualitative claims of Section VI-B as booleans so that
+// tests (and EXPERIMENTS.md) can state unambiguously whether the reproduction
+// shows the same shape as the paper.  The formulations follow the paper's
+// conclusions: Policy 2 "has been proven to show the fastest convergence and
+// the highest stability", Policy 1 does not make the RMTTFs of heterogeneous
+// regions converge, Policy 3 converges but can suffer from its intrinsic
+// randomness, and the response time stays below the 1-second threshold.
+type Claims struct {
+	// Policy1DoesNotConverge: with Policy 1 the RMTTFs of heterogeneous
+	// regions stabilise at different values (Figure 3) or keep oscillating
+	// (Figure 4).
+	Policy1DoesNotConverge bool
+	// Policy2Converges: with Policy 2 the RMTTFs converge.
+	Policy2Converges bool
+	// Policy3Converges: with Policy 3 the RMTTFs converge.
+	Policy3Converges bool
+	// Policy2TightestConvergence: Policy 2 ends with the smallest
+	// steady-state RMTTF spread of the three policies ("the most stable
+	// results").
+	Policy2TightestConvergence bool
+	// Policy2AtLeastAsFastAsPolicy3: Policy 2's convergence time is no worse
+	// than Policy 3's (within a 25% sampling slack — the convergence-time
+	// estimate is quantised by the control-era granularity).
+	Policy2AtLeastAsFastAsPolicy3 bool
+	// AllPoliciesMeetSLA: the mean client response time stays below the
+	// 1-second threshold under every policy.
+	AllPoliciesMeetSLA bool
+}
+
+// AllHold reports whether every claim reproduced.
+func (c Claims) AllHold() bool {
+	return c.Policy1DoesNotConverge && c.Policy2Converges && c.Policy3Converges &&
+		c.Policy2TightestConvergence && c.Policy2AtLeastAsFastAsPolicy3 && c.AllPoliciesMeetSLA
+}
+
+// String renders the claims as a checklist.
+func (c Claims) String() string {
+	row := func(label string, ok bool) string {
+		mark := "FAIL"
+		if ok {
+			mark = "ok"
+		}
+		return fmt.Sprintf("  [%-4s] %s\n", mark, label)
+	}
+	var b strings.Builder
+	b.WriteString(row("Policy 1 does not converge (heterogeneous regions)", c.Policy1DoesNotConverge))
+	b.WriteString(row("Policy 2 converges", c.Policy2Converges))
+	b.WriteString(row("Policy 3 converges", c.Policy3Converges))
+	b.WriteString(row("Policy 2 shows the tightest RMTTF convergence", c.Policy2TightestConvergence))
+	b.WriteString(row("Policy 2 converges at least as fast as Policy 3", c.Policy2AtLeastAsFastAsPolicy3))
+	b.WriteString(row("mean response time below the 1 s SLA for all policies", c.AllPoliciesMeetSLA))
+	return b.String()
+}
+
+// EvaluateClaims derives the Section VI-B claims from the per-policy results
+// of one scenario.
+func EvaluateClaims(results map[string]*Result) Claims {
+	var c Claims
+	p1, ok1 := results["policy1"]
+	p2, ok2 := results["policy2"]
+	p3, ok3 := results["policy3"]
+	if !ok1 || !ok2 || !ok3 {
+		return c
+	}
+	c.Policy1DoesNotConverge = !p1.RMTTFConvergence.Converged
+	c.Policy2Converges = p2.RMTTFConvergence.Converged
+	c.Policy3Converges = p3.RMTTFConvergence.Converged
+	c.Policy2TightestConvergence = p2.RMTTFConvergence.RelativeSpread <= p1.RMTTFConvergence.RelativeSpread &&
+		p2.RMTTFConvergence.RelativeSpread <= p3.RMTTFConvergence.RelativeSpread
+	c.Policy2AtLeastAsFastAsPolicy3 = p2.RMTTFConvergence.Converged &&
+		p2.RMTTFConvergence.ConvergenceTime <= 1.25*p3.RMTTFConvergence.ConvergenceTime
+	c.AllPoliciesMeetSLA = p1.MeanResponseTime < workload.SLAThresholdSeconds &&
+		p2.MeanResponseTime < workload.SLAThresholdSeconds &&
+		p3.MeanResponseTime < workload.SLAThresholdSeconds
+	return c
+}
+
+// SummaryTable renders a per-policy comparison table for one scenario.
+func SummaryTable(results map[string]*Result) string {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %9s %11s %12s %10s %10s %8s %8s\n",
+		"policy", "converged", "spread", "convTime", "fOscillation", "meanRT(s)", "slaViol", "rejuv", "crashes")
+	for _, k := range keys {
+		r := results[k]
+		conv := "no"
+		if r.RMTTFConvergence.Converged {
+			conv = "yes"
+		}
+		convTime := "never"
+		if r.RMTTFConvergence.Converged {
+			if math.IsInf(r.RMTTFConvergence.ConvergenceTime, 1) {
+				convTime = "n/a"
+			} else {
+				convTime = fmt.Sprintf("%.0fs", r.RMTTFConvergence.ConvergenceTime)
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %9s %9.3f %11s %12.4f %10.3f %10.4f %8d %8d\n",
+			k, conv, r.RMTTFConvergence.RelativeSpread, convTime,
+			r.FractionOscillation, r.MeanResponseTime, r.SLAViolationRatio,
+			r.ProactiveRejuvenations, r.Crashes)
+	}
+	return b.String()
+}
+
+// FigureReport renders, for one result, the ASCII versions of the three rows
+// of the paper's figures: RMTTF per region, workload fraction per region, and
+// the client response time.
+func FigureReport(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.Scenario.Name, r.PolicyLabel)
+	b.WriteString(trace.ASCIIPlot(r.Recorder.Set("rmttf"), trace.PlotOptions{
+		Title: "RMTTF per region (s)", Height: 12, Width: 72, YLabel: "seconds"}))
+	b.WriteString(trace.ASCIIPlot(r.Recorder.Set("fraction"), trace.PlotOptions{
+		Title: "workload fraction f_i per region", Height: 12, Width: 72, YLabel: "fraction"}))
+	b.WriteString(trace.ASCIIPlot(r.Recorder.Set("response_time"), trace.PlotOptions{
+		Title: "client response time (s)", Height: 10, Width: 72, YLabel: "seconds"}))
+	fmt.Fprintf(&b, "summary: converged=%v spread=%.3f fractionOsc=%.4f meanRT=%.3fs slaViol=%.4f successRatio=%.4f\n",
+		r.RMTTFConvergence.Converged, r.RMTTFConvergence.RelativeSpread,
+		r.FractionOscillation, r.MeanResponseTime, r.SLAViolationRatio, r.SuccessRatio)
+	return b.String()
+}
+
+// Interface assertion helpers for the core policies used in reports.
+var _ core.Policy = core.SensibleRouting{}

@@ -1,0 +1,201 @@
+// Package experiment defines the reproducible experiment harness: the
+// scenarios matching the paper's evaluation section (Figure 3 with two
+// regions, Figure 4 with three regions), the summary metrics used to judge
+// the qualitative claims of Section VI-B (convergence, convergence speed,
+// stability, response-time SLA), and the ablations the reproduction adds
+// (β sweep, exploration-factor sweep, baseline policies, homogeneous
+// regions).
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/acm"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/pcam"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// Scenario is a complete experiment configuration, independent of the policy
+// under test (the policy is supplied when the scenario is run so that the
+// same deployment can be evaluated under Policies 1–3 and the baselines).
+type Scenario struct {
+	// Name labels the scenario ("figure3", "figure4", ...).
+	Name string
+	// Seed drives all random streams.
+	Seed uint64
+	// Regions lists the cloud regions and their client populations.
+	Regions []acm.RegionSetup
+	// Horizon is the simulated duration of one run.
+	Horizon simclock.Duration
+	// ControlInterval is the period of the global control loop.
+	ControlInterval simclock.Duration
+	// Beta is the RMTTF smoothing factor of equation (1).
+	Beta float64
+	// Predictor selects oracle or trained-ML RTTF prediction.
+	Predictor acm.PredictorMode
+	// VMC configures the per-region controllers.
+	VMC pcam.Config
+	// TailFraction is the fraction of the run treated as steady state when
+	// judging convergence and oscillation (0.4 when zero).
+	TailFraction float64
+	// ConvergenceTolerance is the relative RMTTF spread below which the
+	// regions are considered converged (0.3 when zero).
+	ConvergenceTolerance float64
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Horizon <= 0 {
+		s.Horizon = 2 * simclock.Hour
+	}
+	if s.ControlInterval <= 0 {
+		s.ControlInterval = 60 * simclock.Second
+	}
+	if s.Beta <= 0 || s.Beta > 1 {
+		s.Beta = 0.5
+	}
+	if s.Predictor == "" {
+		s.Predictor = acm.PredictorOracle
+	}
+	if s.TailFraction <= 0 {
+		s.TailFraction = 0.4
+	}
+	if s.ConvergenceTolerance <= 0 {
+		s.ConvergenceTolerance = 0.3
+	}
+	return s
+}
+
+// RegionNames returns the region names of the scenario in order.
+func (s Scenario) RegionNames() []string {
+	out := make([]string, len(s.Regions))
+	for i, r := range s.Regions {
+		out[i] = r.Region.Name
+	}
+	return out
+}
+
+// TotalClients returns the total number of emulated browsers.
+func (s Scenario) TotalClients() int {
+	n := 0
+	for _, r := range s.Regions {
+		n += r.Clients
+	}
+	return n
+}
+
+// Figure3Scenario reproduces the first experiment of Section VI-B: a
+// geographically distributed hybrid cloud composed of Region 1 (6 m3.medium
+// VMs, Amazon EC2 Ireland) and Region 3 (4 private VMs, Munich), with
+// client populations of significantly different sizes within the paper's
+// [16, 512] range.
+func Figure3Scenario(seed uint64) Scenario {
+	return Scenario{
+		Name: "figure3",
+		Seed: seed,
+		Regions: []acm.RegionSetup{
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion1), Clients: 320, Mix: workload.BrowsingMix()},
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion3), Clients: 128, Mix: workload.BrowsingMix()},
+		},
+	}.withDefaults()
+}
+
+// Figure4Scenario reproduces the second experiment of Section VI-B: all three
+// regions (6 m3.medium in Ireland, 12 m3.small in Frankfurt, 4 private VMs in
+// Munich) with again significantly different client populations.
+func Figure4Scenario(seed uint64) Scenario {
+	return Scenario{
+		Name: "figure4",
+		Seed: seed,
+		Regions: []acm.RegionSetup{
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion1), Clients: 288, Mix: workload.BrowsingMix()},
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion2), Clients: 96, Mix: workload.BrowsingMix()},
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion3), Clients: 256, Mix: workload.BrowsingMix()},
+		},
+	}.withDefaults()
+}
+
+// HomogeneousScenario is the control experiment behind the paper's closing
+// remark that "Policy 1 ... is more suitable for less-heterogeneous
+// environments": three identical regions with identical client populations.
+func HomogeneousScenario(seed uint64) Scenario {
+	mkRegion := func(name string) cloudsim.RegionConfig {
+		cfg := cloudsim.PaperRegionConfig(cloudsim.PaperRegion1)
+		cfg.Name = name
+		return cfg
+	}
+	return Scenario{
+		Name: "homogeneous",
+		Seed: seed,
+		Regions: []acm.RegionSetup{
+			{Region: mkRegion("region1"), Clients: 192, Mix: workload.BrowsingMix()},
+			{Region: mkRegion("region2"), Clients: 192, Mix: workload.BrowsingMix()},
+			{Region: mkRegion("region3"), Clients: 192, Mix: workload.BrowsingMix()},
+		},
+	}.withDefaults()
+}
+
+// ElasticityScenario exercises the ADDVMS elasticity action of Section V: a
+// single region starts with a deliberately small active pool, a workload
+// surge connects three times as many clients halfway through the run, and the
+// per-region controller is expected to activate standby VMs (and provision
+// new ones) to bring the response time back under the SLA.
+func ElasticityScenario(seed uint64) Scenario {
+	region := cloudsim.PaperRegionConfig(cloudsim.PaperRegion1)
+	region.InitialActive = 3
+	region.InitialStandby = 3
+	region.MaxVMs = 18
+	return Scenario{
+		Name: "elasticity",
+		Seed: seed,
+		Regions: []acm.RegionSetup{
+			{
+				Region:       region,
+				Clients:      96,
+				Mix:          workload.BrowsingMix(),
+				SurgeClients: 288,
+				SurgeAt:      30 * simclock.Minute,
+			},
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion3), Clients: 64, Mix: workload.BrowsingMix()},
+		},
+		Horizon: 90 * simclock.Minute,
+		VMC: pcam.Config{
+			ElasticityEnabled:     true,
+			ResponseTimeThreshold: 1.0,
+		},
+	}.withDefaults()
+}
+
+// Policies returns the three policies of the paper keyed by the short names
+// used throughout the reproduction, in presentation order.
+func Policies() []NamedPolicy {
+	return []NamedPolicy{
+		{Key: "policy1", Label: "Policy 1 (sensible routing)", Policy: core.SensibleRouting{}},
+		{Key: "policy2", Label: "Policy 2 (available resources)", Policy: core.AvailableResources{}},
+		{Key: "policy3", Label: "Policy 3 (exploration)", Policy: &core.Exploration{K: 1}},
+	}
+}
+
+// NamedPolicy couples a policy with the identifiers used in reports.
+type NamedPolicy struct {
+	Key    string
+	Label  string
+	Policy core.Policy
+}
+
+// PolicyByKey returns the named policy for "policy1", "policy2", "policy3",
+// "uniform" or "static:<w1,w2,...>"-style keys handled by core.ByName.
+func PolicyByKey(key string) (NamedPolicy, error) {
+	for _, np := range Policies() {
+		if np.Key == key {
+			return np, nil
+		}
+	}
+	p, err := core.ByName(key)
+	if err != nil {
+		return NamedPolicy{}, fmt.Errorf("experiment: %w", err)
+	}
+	return NamedPolicy{Key: key, Label: p.Name(), Policy: p}, nil
+}

@@ -1,0 +1,261 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is ordinary least-squares regression solved through the
+// normal equations, the first of the six models supported by F2PM.
+type LinearRegression struct {
+	// Weights holds the intercept in Weights[0] followed by one coefficient
+	// per feature.
+	Weights []float64
+}
+
+// NewLinearRegression returns an untrained OLS model.
+func NewLinearRegression() *LinearRegression { return &LinearRegression{} }
+
+// Name implements Regressor.
+func (m *LinearRegression) Name() string { return "LinearRegression" }
+
+// Fit implements Regressor.
+func (m *LinearRegression) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(x) != len(y) {
+		return ErrDimensionMismatch
+	}
+	xi := addIntercept(x)
+	w, err := NormalEquations(xi, y, 0, 0)
+	if err != nil {
+		return fmt.Errorf("ml: linear regression: %w", err)
+	}
+	m.Weights = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *LinearRegression) Predict(row []float64) float64 {
+	if len(m.Weights) == 0 {
+		return 0
+	}
+	pred := m.Weights[0]
+	n := len(m.Weights) - 1
+	for j := 0; j < n && j < len(row); j++ {
+		pred += m.Weights[j+1] * row[j]
+	}
+	return pred
+}
+
+// RidgeRegression is L2-regularised least squares.  It is not one of the
+// paper's six headline models but is used internally (a linear LS-SVM in
+// primal form is ridge regression) and as a robust fallback for collinear
+// feature sets.
+type RidgeRegression struct {
+	// Lambda is the L2 penalty applied to all coefficients except the
+	// intercept.
+	Lambda  float64
+	Weights []float64
+	scaler  *Standardizer
+}
+
+// NewRidgeRegression returns an untrained ridge model with the given penalty.
+func NewRidgeRegression(lambda float64) *RidgeRegression {
+	if lambda < 0 {
+		lambda = 0
+	}
+	return &RidgeRegression{Lambda: lambda}
+}
+
+// Name implements Regressor.
+func (m *RidgeRegression) Name() string { return fmt.Sprintf("Ridge(lambda=%g)", m.Lambda) }
+
+// Fit implements Regressor.
+func (m *RidgeRegression) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(x) != len(y) {
+		return ErrDimensionMismatch
+	}
+	m.scaler = FitStandardizer(x)
+	xs := m.scaler.Transform(x)
+	xi := addIntercept(xs)
+	w, err := NormalEquations(xi, y, m.Lambda, 0)
+	if err != nil {
+		return fmt.Errorf("ml: ridge regression: %w", err)
+	}
+	m.Weights = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *RidgeRegression) Predict(row []float64) float64 {
+	if len(m.Weights) == 0 {
+		return 0
+	}
+	r := row
+	if m.scaler != nil {
+		r = m.scaler.TransformRow(row)
+	}
+	pred := m.Weights[0]
+	n := len(m.Weights) - 1
+	for j := 0; j < n && j < len(r); j++ {
+		pred += m.Weights[j+1] * r[j]
+	}
+	return pred
+}
+
+// Lasso is L1-regularised linear regression solved by cyclic coordinate
+// descent.  In F2PM it plays two roles: a predictor in its own right and the
+// feature-selection mechanism (coefficients driven exactly to zero identify
+// irrelevant features).
+type Lasso struct {
+	// Lambda is the L1 penalty.
+	Lambda float64
+	// MaxIter bounds the number of full coordinate-descent sweeps.
+	MaxIter int
+	// Tol is the convergence tolerance on the maximum coefficient change per
+	// sweep.
+	Tol float64
+
+	// Intercept and Coefficients are the fitted parameters in the original
+	// (unstandardised) feature space is not kept; predictions standardise the
+	// input row first.
+	Intercept    float64
+	Coefficients []float64
+
+	scaler *Standardizer
+}
+
+// NewLasso returns an untrained Lasso model with sensible defaults.
+func NewLasso(lambda float64) *Lasso {
+	if lambda < 0 {
+		lambda = 0
+	}
+	return &Lasso{Lambda: lambda, MaxIter: 1000, Tol: 1e-6}
+}
+
+// Name implements Regressor.
+func (m *Lasso) Name() string { return fmt.Sprintf("Lasso(lambda=%g)", m.Lambda) }
+
+// Fit implements Regressor.
+func (m *Lasso) Fit(x [][]float64, y []float64) error {
+	n := len(x)
+	if n == 0 {
+		return ErrEmptyDataset
+	}
+	if len(y) != n {
+		return ErrDimensionMismatch
+	}
+	p := len(x[0])
+	m.scaler = FitStandardizer(x)
+	xs := m.scaler.Transform(x)
+
+	// Center y; the intercept absorbs the mean.
+	yMean := meanOf(y)
+	yc := make([]float64, n)
+	for i := range y {
+		yc[i] = y[i] - yMean
+	}
+
+	beta := make([]float64, p)
+	// Pre-compute column norms.
+	colNorm := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			colNorm[j] += xs[i][j] * xs[i][j]
+		}
+		if colNorm[j] == 0 {
+			colNorm[j] = 1
+		}
+	}
+
+	// Residuals r = yc - X*beta (beta starts at zero).
+	resid := append([]float64(nil), yc...)
+
+	maxIter := m.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	lam := m.Lambda * float64(n) // scale penalty with sample count like glmnet's objective
+
+	for it := 0; it < maxIter; it++ {
+		maxChange := 0.0
+		for j := 0; j < p; j++ {
+			// rho = X_j'(resid + X_j*beta_j)
+			rho := 0.0
+			for i := 0; i < n; i++ {
+				rho += xs[i][j] * (resid[i] + xs[i][j]*beta[j])
+			}
+			newBeta := softThreshold(rho, lam) / colNorm[j]
+			if newBeta != beta[j] {
+				delta := newBeta - beta[j]
+				for i := 0; i < n; i++ {
+					resid[i] -= xs[i][j] * delta
+				}
+				if math.Abs(delta) > maxChange {
+					maxChange = math.Abs(delta)
+				}
+				beta[j] = newBeta
+			}
+		}
+		if maxChange < tol {
+			break
+		}
+	}
+
+	m.Coefficients = beta
+	m.Intercept = yMean
+	return nil
+}
+
+// softThreshold is the Lasso shrinkage operator.
+func softThreshold(z, gamma float64) float64 {
+	switch {
+	case z > gamma:
+		return z - gamma
+	case z < -gamma:
+		return z + gamma
+	default:
+		return 0
+	}
+}
+
+// Predict implements Regressor.
+func (m *Lasso) Predict(row []float64) float64 {
+	if m.Coefficients == nil {
+		return 0
+	}
+	r := row
+	if m.scaler != nil {
+		r = m.scaler.TransformRow(row)
+	}
+	pred := m.Intercept
+	for j := 0; j < len(m.Coefficients) && j < len(r); j++ {
+		pred += m.Coefficients[j] * r[j]
+	}
+	return pred
+}
+
+// SelectedFeatures returns the indices of features with non-zero (above eps)
+// coefficients — the Lasso regularisation path output F2PM uses to reduce the
+// amount of information managed at runtime.
+func (m *Lasso) SelectedFeatures(eps float64) []int {
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	var out []int
+	for j, b := range m.Coefficients {
+		if math.Abs(b) > eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}

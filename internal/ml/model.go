@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regressor is the common interface of all RTTF prediction models.  Fit
+// trains the model on a design matrix (one row per sample) and a label
+// vector; Predict estimates the label of one sample.
+type Regressor interface {
+	// Fit trains the model.  It returns an error when the dataset is empty or
+	// dimensionally inconsistent.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the model's estimate for one feature row.
+	Predict(row []float64) float64
+	// Name returns a short human-readable model name.
+	Name() string
+}
+
+// PredictAll applies the model to every row of x.
+func PredictAll(m Regressor, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Metrics are the model-evaluation measures F2PM reports to the user so they
+// can choose the most effective model for RTTF prediction.
+type Metrics struct {
+	// MAE is the mean absolute error.
+	MAE float64
+	// RMSE is the root mean squared error.
+	RMSE float64
+	// R2 is the coefficient of determination (1 is perfect, 0 is the mean
+	// predictor, negative is worse than the mean predictor).
+	R2 float64
+	// MeanRelativeError is mean(|err| / max(|y|, 1)).
+	MeanRelativeError float64
+	// MaxAbsError is the largest absolute error.
+	MaxAbsError float64
+	// N is the number of evaluated samples.
+	N int
+}
+
+// String renders the metrics in a compact, aligned form.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MAE=%.3f RMSE=%.3f R2=%.4f relErr=%.4f maxErr=%.3f n=%d",
+		m.MAE, m.RMSE, m.R2, m.MeanRelativeError, m.MaxAbsError, m.N)
+}
+
+// Evaluate compares predictions against ground truth and returns the metrics.
+func Evaluate(predicted, actual []float64) Metrics {
+	n := len(actual)
+	if n == 0 || len(predicted) != n {
+		return Metrics{}
+	}
+	var sumAbs, sumSq, sumRel, maxAbs float64
+	for i := range actual {
+		err := predicted[i] - actual[i]
+		a := math.Abs(err)
+		sumAbs += a
+		sumSq += err * err
+		den := math.Abs(actual[i])
+		if den < 1 {
+			den = 1
+		}
+		sumRel += a / den
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	meanY := meanOf(actual)
+	var ssTot float64
+	for _, y := range actual {
+		d := y - meanY
+		ssTot += d * d
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - sumSq/ssTot
+	} else if sumSq == 0 {
+		r2 = 1
+	}
+	return Metrics{
+		MAE:               sumAbs / float64(n),
+		RMSE:              math.Sqrt(sumSq / float64(n)),
+		R2:                r2,
+		MeanRelativeError: sumRel / float64(n),
+		MaxAbsError:       maxAbs,
+		N:                 n,
+	}
+}
+
+// EvaluateModel fits nothing: it just scores an already-trained model on a
+// held-out set.
+func EvaluateModel(m Regressor, x [][]float64, y []float64) Metrics {
+	return Evaluate(PredictAll(m, x), y)
+}
+
+// CrossValidate performs k-fold cross validation of the model produced by
+// factory on (x, y) and returns the metrics averaged over folds.  Folds are
+// contiguous blocks (the data is time-ordered, so block folds avoid leaking
+// future information into the past in an obviously wrong way while staying
+// deterministic).
+func CrossValidate(factory func() Regressor, x [][]float64, y []float64, k int) (Metrics, error) {
+	n := len(x)
+	if n == 0 {
+		return Metrics{}, ErrEmptyDataset
+	}
+	if len(y) != n {
+		return Metrics{}, ErrDimensionMismatch
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	var agg Metrics
+	folds := 0
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		if hi <= lo {
+			continue
+		}
+		var trX [][]float64
+		var trY []float64
+		for i := 0; i < n; i++ {
+			if i >= lo && i < hi {
+				continue
+			}
+			trX = append(trX, x[i])
+			trY = append(trY, y[i])
+		}
+		teX := x[lo:hi]
+		teY := y[lo:hi]
+		if len(trX) == 0 {
+			continue
+		}
+		m := factory()
+		if err := m.Fit(trX, trY); err != nil {
+			return Metrics{}, fmt.Errorf("ml: cross-validation fold %d: %w", f, err)
+		}
+		met := EvaluateModel(m, teX, teY)
+		agg.MAE += met.MAE
+		agg.RMSE += met.RMSE
+		agg.R2 += met.R2
+		agg.MeanRelativeError += met.MeanRelativeError
+		if met.MaxAbsError > agg.MaxAbsError {
+			agg.MaxAbsError = met.MaxAbsError
+		}
+		agg.N += met.N
+		folds++
+	}
+	if folds == 0 {
+		return Metrics{}, ErrEmptyDataset
+	}
+	agg.MAE /= float64(folds)
+	agg.RMSE /= float64(folds)
+	agg.R2 /= float64(folds)
+	agg.MeanRelativeError /= float64(folds)
+	return agg, nil
+}
+
+// ModelScore couples a model name with its held-out metrics, used to build
+// the comparison table F2PM presents to the user.
+type ModelScore struct {
+	Name    string
+	Metrics Metrics
+}
+
+// RankModels evaluates each candidate (trained by its factory on the training
+// split and scored on the test split) and returns scores sorted by ascending
+// RMSE — the ordering used to pick the runtime model.
+func RankModels(candidates map[string]func() Regressor, trainX [][]float64, trainY []float64, testX [][]float64, testY []float64) ([]ModelScore, error) {
+	if len(trainX) == 0 || len(testX) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var scores []ModelScore
+	for _, name := range names {
+		m := candidates[name]()
+		if err := m.Fit(trainX, trainY); err != nil {
+			return nil, fmt.Errorf("ml: training %s: %w", name, err)
+		}
+		scores = append(scores, ModelScore{Name: name, Metrics: EvaluateModel(m, testX, testY)})
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Metrics.RMSE < scores[j].Metrics.RMSE })
+	return scores, nil
+}

@@ -1,0 +1,365 @@
+// Package overlay models the interconnection network among the Virtual
+// Machine Controllers of the different cloud regions.  Following Section III
+// of the paper, "the interconnection among the various controllers is
+// actuated via an overlay network, which selects the path with the smallest
+// latency among two given controllers, and is able to reroute connections in
+// case of a network link failure".
+//
+// The overlay is a weighted undirected graph: vertices are controller nodes
+// (one per cloud region, plus optional relay nodes), edges carry latencies.
+// Routing uses Dijkstra's shortest-path algorithm over the live part of the
+// graph, so failing a link or a node transparently reroutes traffic over the
+// remaining paths.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownNode is returned when a route endpoint does not exist.
+var ErrUnknownNode = errors.New("overlay: unknown node")
+
+// ErrUnreachable is returned when no live path connects two nodes.
+var ErrUnreachable = errors.New("overlay: destination unreachable")
+
+// link is one undirected edge of the overlay.
+type link struct {
+	a, b      string
+	latencyMs float64
+	failed    bool
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Network is the overlay graph.  It is not safe for concurrent use; the
+// simulation drives it from a single goroutine.
+type Network struct {
+	nodes map[string]bool // value: node alive?
+	links map[string]*link
+}
+
+// New returns an empty overlay network.
+func New() *Network {
+	return &Network{nodes: map[string]bool{}, links: map[string]*link{}}
+}
+
+// AddNode registers a controller node.  Adding an existing node is a no-op
+// (and revives it if it was failed).
+func (n *Network) AddNode(name string) {
+	n.nodes[name] = true
+}
+
+// HasNode reports whether the node exists (failed or not).
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.nodes[name]
+	return ok
+}
+
+// NodeAlive reports whether the node exists and is alive.
+func (n *Network) NodeAlive(name string) bool { return n.nodes[name] }
+
+// Nodes returns all node names, sorted.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AliveNodes returns the names of nodes currently alive, sorted.
+func (n *Network) AliveNodes() []string {
+	var out []string
+	for name, alive := range n.nodes {
+		if alive {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLink creates (or updates) the undirected link between a and b with the
+// given latency in milliseconds.  Both endpoints are created if missing.
+func (n *Network) AddLink(a, b string, latencyMs float64) error {
+	if a == b {
+		return fmt.Errorf("overlay: self link on %q", a)
+	}
+	if latencyMs <= 0 {
+		return fmt.Errorf("overlay: non-positive latency %v between %q and %q", latencyMs, a, b)
+	}
+	if !n.HasNode(a) {
+		n.AddNode(a)
+	}
+	if !n.HasNode(b) {
+		n.AddNode(b)
+	}
+	key := linkKey(a, b)
+	if l, ok := n.links[key]; ok {
+		l.latencyMs = latencyMs
+		return nil
+	}
+	n.links[key] = &link{a: a, b: b, latencyMs: latencyMs}
+	return nil
+}
+
+// FailLink marks the link between a and b as failed; routes are recomputed
+// around it.  It reports whether such a link exists.
+func (n *Network) FailLink(a, b string) bool {
+	l, ok := n.links[linkKey(a, b)]
+	if !ok {
+		return false
+	}
+	l.failed = true
+	return true
+}
+
+// RestoreLink brings a previously failed link back.  It reports whether such
+// a link exists.
+func (n *Network) RestoreLink(a, b string) bool {
+	l, ok := n.links[linkKey(a, b)]
+	if !ok {
+		return false
+	}
+	l.failed = false
+	return true
+}
+
+// LinkFailed reports whether the link between a and b is currently failed
+// (false if the link does not exist).
+func (n *Network) LinkFailed(a, b string) bool {
+	l, ok := n.links[linkKey(a, b)]
+	return ok && l.failed
+}
+
+// FailNode marks a node as failed: all its links become unusable until the
+// node is restored.  It reports whether the node exists.
+func (n *Network) FailNode(name string) bool {
+	if !n.HasNode(name) {
+		return false
+	}
+	n.nodes[name] = false
+	return true
+}
+
+// RestoreNode revives a failed node.  It reports whether the node exists.
+func (n *Network) RestoreNode(name string) bool {
+	if !n.HasNode(name) {
+		return false
+	}
+	n.nodes[name] = true
+	return true
+}
+
+// neighbors returns the live neighbours of a node and the latency to each.
+func (n *Network) neighbors(name string) map[string]float64 {
+	out := map[string]float64{}
+	for _, l := range n.links {
+		if l.failed {
+			continue
+		}
+		var other string
+		switch name {
+		case l.a:
+			other = l.b
+		case l.b:
+			other = l.a
+		default:
+			continue
+		}
+		if !n.nodes[other] {
+			continue
+		}
+		if cur, ok := out[other]; !ok || l.latencyMs < cur {
+			out[other] = l.latencyMs
+		}
+	}
+	return out
+}
+
+// Route is a path through the overlay with its end-to-end latency.
+type Route struct {
+	// Path is the ordered list of nodes from source to destination
+	// (inclusive).
+	Path []string
+	// LatencyMs is the sum of link latencies along the path.
+	LatencyMs float64
+}
+
+// Hops returns the number of links traversed.
+func (r Route) Hops() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// String renders the route as "a -> b -> c (12.3 ms)".
+func (r Route) String() string {
+	return fmt.Sprintf("%s (%.1f ms)", strings.Join(r.Path, " -> "), r.LatencyMs)
+}
+
+// ShortestRoute computes the minimum-latency live path between two nodes
+// using Dijkstra's algorithm.  Failed links and failed nodes are excluded, so
+// the returned route is the one the overlay would actually use after
+// rerouting around failures.
+func (n *Network) ShortestRoute(from, to string) (Route, error) {
+	if !n.HasNode(from) || !n.HasNode(to) {
+		return Route{}, fmt.Errorf("%w: %q or %q", ErrUnknownNode, from, to)
+	}
+	if !n.nodes[from] || !n.nodes[to] {
+		return Route{}, fmt.Errorf("%w: %q -> %q (endpoint down)", ErrUnreachable, from, to)
+	}
+	if from == to {
+		return Route{Path: []string{from}}, nil
+	}
+
+	dist := map[string]float64{from: 0}
+	prev := map[string]string{}
+	visited := map[string]bool{}
+
+	for {
+		// Select the unvisited node with the smallest tentative distance.
+		cur := ""
+		best := math.Inf(1)
+		for node, d := range dist {
+			if !visited[node] && d < best {
+				best = d
+				cur = node
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for nb, lat := range n.neighbors(cur) {
+			if nd := dist[cur] + lat; func() bool {
+				d, ok := dist[nb]
+				return !ok || nd < d
+			}() {
+				dist[nb] = nd
+				prev[nb] = cur
+			}
+		}
+	}
+
+	if _, ok := dist[to]; !ok {
+		return Route{}, fmt.Errorf("%w: %q -> %q", ErrUnreachable, from, to)
+	}
+	// Rebuild the path.
+	var path []string
+	for at := to; ; {
+		path = append([]string{at}, path...)
+		if at == from {
+			break
+		}
+		at = prev[at]
+	}
+	return Route{Path: path, LatencyMs: dist[to]}, nil
+}
+
+// Latency returns the end-to-end latency of the best live route between two
+// nodes, or +Inf when unreachable.
+func (n *Network) Latency(from, to string) float64 {
+	r, err := n.ShortestRoute(from, to)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return r.LatencyMs
+}
+
+// Reachable reports whether a live path exists between the two nodes.
+func (n *Network) Reachable(from, to string) bool {
+	_, err := n.ShortestRoute(from, to)
+	return err == nil
+}
+
+// Partition returns the set of alive nodes reachable from the given node
+// (including itself), sorted.  Leader election uses it to scope the vote to
+// one side of a network partition.
+func (n *Network) Partition(from string) []string {
+	if !n.nodes[from] {
+		return nil
+	}
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for nb := range n.neighbors(cur) {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LatencyMatrix returns the pairwise latency matrix over the given nodes (in
+// the given order), with +Inf marking unreachable pairs.
+func (n *Network) LatencyMatrix(nodes []string) [][]float64 {
+	m := make([][]float64, len(nodes))
+	for i, a := range nodes {
+		m[i] = make([]float64, len(nodes))
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			m[i][j] = n.Latency(a, b)
+		}
+	}
+	return m
+}
+
+// Links returns a description of every link ("a-b: 12.3ms [failed]"), sorted,
+// for reports and debugging.
+func (n *Network) Links() []string {
+	var out []string
+	for _, l := range n.links {
+		s := fmt.Sprintf("%s-%s: %.1fms", l.a, l.b, l.latencyMs)
+		if l.failed {
+			s += " [failed]"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperOverlay builds the overlay connecting the three controllers of the
+// paper's testbed — Ireland (region1), Frankfurt (region2) and Munich
+// (region3) — with inter-region latencies representative of the public
+// internet between those sites, plus a transit node (Amsterdam) that provides
+// the alternative paths the overlay needs to reroute around a failed direct
+// link.
+func PaperOverlay() *Network {
+	n := New()
+	// Direct controller-to-controller links.
+	_ = n.AddLink("region1", "region2", 25) // Ireland  <-> Frankfurt
+	_ = n.AddLink("region2", "region3", 8)  // Frankfurt <-> Munich
+	_ = n.AddLink("region1", "region3", 33) // Ireland  <-> Munich
+	// Transit node providing redundancy.
+	_ = n.AddLink("region1", "transit-ams", 15)
+	_ = n.AddLink("region2", "transit-ams", 12)
+	_ = n.AddLink("region3", "transit-ams", 16)
+	return n
+}

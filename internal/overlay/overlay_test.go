@@ -1,0 +1,332 @@
+package overlay
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	mustLink := func(a, b string, lat float64) {
+		if err := n.AddLink(a, b, lat); err != nil {
+			t.Fatalf("AddLink(%s,%s): %v", a, b, err)
+		}
+	}
+	// A small irregular topology:
+	//   a --1-- b --1-- c
+	//   a ------5------ c
+	//   c --2-- d
+	mustLink("a", "b", 1)
+	mustLink("b", "c", 1)
+	mustLink("a", "c", 5)
+	mustLink("c", "d", 2)
+	return n
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := New()
+	if err := n.AddLink("a", "a", 1); err == nil {
+		t.Errorf("self link should be rejected")
+	}
+	if err := n.AddLink("a", "b", 0); err == nil {
+		t.Errorf("zero latency should be rejected")
+	}
+	if err := n.AddLink("a", "b", -3); err == nil {
+		t.Errorf("negative latency should be rejected")
+	}
+	if err := n.AddLink("a", "b", 2); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+	// Updating an existing link changes its latency.
+	if err := n.AddLink("b", "a", 9); err != nil {
+		t.Fatalf("link update rejected: %v", err)
+	}
+	if got := n.Latency("a", "b"); got != 9 {
+		t.Fatalf("updated latency = %v, want 9", got)
+	}
+}
+
+func TestNodesAndAliveNodes(t *testing.T) {
+	n := testNetwork(t)
+	want := []string{"a", "b", "c", "d"}
+	if got := n.Nodes(); !equalStrings(got, want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	n.FailNode("b")
+	if got := n.AliveNodes(); !equalStrings(got, []string{"a", "c", "d"}) {
+		t.Fatalf("AliveNodes() = %v", got)
+	}
+	if n.NodeAlive("b") {
+		t.Fatalf("b should be down")
+	}
+	if !n.HasNode("b") {
+		t.Fatalf("b should still exist")
+	}
+	if n.FailNode("zzz") {
+		t.Fatalf("failing an unknown node should report false")
+	}
+	if !n.RestoreNode("b") {
+		t.Fatalf("restore of known node should report true")
+	}
+	if n.RestoreNode("zzz") {
+		t.Fatalf("restore of unknown node should report false")
+	}
+}
+
+func TestShortestRoutePrefersLowLatencyPath(t *testing.T) {
+	n := testNetwork(t)
+	r, err := n.ShortestRoute("a", "c")
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	// a->b->c costs 2, the direct a->c link costs 5.
+	if r.LatencyMs != 2 {
+		t.Fatalf("latency = %v, want 2 (via b)", r.LatencyMs)
+	}
+	if r.Hops() != 2 || len(r.Path) != 3 || r.Path[1] != "b" {
+		t.Fatalf("path = %v, want a->b->c", r.Path)
+	}
+	if r.String() == "" {
+		t.Fatalf("route string should not be empty")
+	}
+}
+
+func TestShortestRouteSameNode(t *testing.T) {
+	n := testNetwork(t)
+	r, err := n.ShortestRoute("a", "a")
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if r.Hops() != 0 || r.LatencyMs != 0 {
+		t.Fatalf("self route should have zero hops and latency, got %+v", r)
+	}
+	if (Route{}).Hops() != 0 {
+		t.Fatalf("empty route should have zero hops")
+	}
+}
+
+func TestShortestRouteErrors(t *testing.T) {
+	n := testNetwork(t)
+	if _, err := n.ShortestRoute("a", "nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown destination should yield ErrUnknownNode, got %v", err)
+	}
+	n.FailNode("d")
+	if _, err := n.ShortestRoute("a", "d"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("route to a failed node should be unreachable, got %v", err)
+	}
+	n.RestoreNode("d")
+	n.AddNode("island")
+	if _, err := n.ShortestRoute("a", "island"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("route to an isolated node should be unreachable, got %v", err)
+	}
+}
+
+func TestLinkFailureReroutes(t *testing.T) {
+	n := testNetwork(t)
+	if !n.FailLink("a", "b") {
+		t.Fatalf("FailLink on existing link should return true")
+	}
+	if n.FailLink("a", "zzz") {
+		t.Fatalf("FailLink on missing link should return false")
+	}
+	if !n.LinkFailed("b", "a") {
+		t.Fatalf("link should be marked failed (order-insensitive)")
+	}
+	r, err := n.ShortestRoute("a", "c")
+	if err != nil {
+		t.Fatalf("route after link failure: %v", err)
+	}
+	if r.LatencyMs != 5 || r.Hops() != 1 {
+		t.Fatalf("after failing a-b the route should fall back to the direct a-c link, got %+v", r)
+	}
+	if !n.RestoreLink("a", "b") {
+		t.Fatalf("RestoreLink should return true")
+	}
+	if n.RestoreLink("x", "y") {
+		t.Fatalf("RestoreLink on missing link should return false")
+	}
+	r, _ = n.ShortestRoute("a", "c")
+	if r.LatencyMs != 2 {
+		t.Fatalf("after restoring a-b the cheap path should be used again, got %v", r.LatencyMs)
+	}
+}
+
+func TestNodeFailureDisablesTransit(t *testing.T) {
+	n := testNetwork(t)
+	n.FailNode("b")
+	r, err := n.ShortestRoute("a", "c")
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if r.LatencyMs != 5 {
+		t.Fatalf("with b down the direct a-c link must be used, got %v", r.LatencyMs)
+	}
+}
+
+func TestLatencyAndReachable(t *testing.T) {
+	n := testNetwork(t)
+	if got := n.Latency("a", "d"); got != 4 {
+		t.Fatalf("latency a-d = %v, want 4", got)
+	}
+	if !n.Reachable("a", "d") {
+		t.Fatalf("a-d should be reachable")
+	}
+	n.FailLink("c", "d")
+	if !math.IsInf(n.Latency("a", "d"), 1) {
+		t.Fatalf("latency to an unreachable node should be +Inf")
+	}
+	if n.Reachable("a", "d") {
+		t.Fatalf("a-d should be unreachable after failing c-d")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := testNetwork(t)
+	if got := n.Partition("a"); !equalStrings(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("partition of a = %v", got)
+	}
+	n.FailLink("c", "d")
+	if got := n.Partition("d"); !equalStrings(got, []string{"d"}) {
+		t.Fatalf("partition of d after isolation = %v", got)
+	}
+	if got := n.Partition("a"); !equalStrings(got, []string{"a", "b", "c"}) {
+		t.Fatalf("partition of a after failing c-d = %v", got)
+	}
+	n.FailNode("a")
+	if n.Partition("a") != nil {
+		t.Fatalf("partition of a failed node should be nil")
+	}
+}
+
+func TestLatencyMatrixAndLinks(t *testing.T) {
+	n := testNetwork(t)
+	m := n.LatencyMatrix([]string{"a", "b", "c"})
+	if m[0][0] != 0 || m[0][1] != 1 || m[0][2] != 2 || m[2][0] != 2 {
+		t.Fatalf("unexpected latency matrix: %v", m)
+	}
+	links := n.Links()
+	if len(links) != 4 {
+		t.Fatalf("links = %v, want 4 entries", links)
+	}
+	if !sort.StringsAreSorted(links) {
+		t.Fatalf("links should be sorted")
+	}
+	n.FailLink("a", "b")
+	found := false
+	for _, l := range n.Links() {
+		if l == "a-b: 1.0ms [failed]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed link should be annotated, got %v", n.Links())
+	}
+}
+
+func TestPaperOverlayTopology(t *testing.T) {
+	n := PaperOverlay()
+	for _, region := range []string{"region1", "region2", "region3"} {
+		if !n.HasNode(region) {
+			t.Fatalf("paper overlay missing %s", region)
+		}
+	}
+	// Direct links should be the preferred routes.
+	if lat := n.Latency("region2", "region3"); lat != 8 {
+		t.Fatalf("Frankfurt-Munich latency = %v, want 8", lat)
+	}
+	// Failing the direct Ireland-Munich link must reroute via Frankfurt or the
+	// transit node, keeping the pair connected.
+	n.FailLink("region1", "region3")
+	r, err := n.ShortestRoute("region1", "region3")
+	if err != nil {
+		t.Fatalf("paper overlay should survive a single link failure: %v", err)
+	}
+	if r.Hops() < 2 {
+		t.Fatalf("rerouted path should use an intermediate node, got %v", r.Path)
+	}
+	if r.LatencyMs <= 8 {
+		t.Fatalf("rerouted latency should exceed the direct Frankfurt-Munich link, got %v", r.LatencyMs)
+	}
+}
+
+// Property: for random failure subsets, any route returned is a valid path
+// over live links with the latency equal to the sum of its hops, and never
+// uses a failed link.
+func TestRouteValidityProperty(t *testing.T) {
+	base := [][3]interface{}{
+		{"a", "b", 1.0}, {"b", "c", 1.0}, {"a", "c", 5.0}, {"c", "d", 2.0},
+		{"d", "e", 1.0}, {"b", "e", 4.0}, {"a", "e", 9.0},
+	}
+	f := func(failMask uint8) bool {
+		n := New()
+		type lk struct {
+			a, b string
+			lat  float64
+		}
+		var links []lk
+		for _, l := range base {
+			a, b, lat := l[0].(string), l[1].(string), l[2].(float64)
+			_ = n.AddLink(a, b, lat)
+			links = append(links, lk{a, b, lat})
+		}
+		for i, l := range links {
+			if failMask&(1<<uint(i)) != 0 {
+				n.FailLink(l.a, l.b)
+			}
+		}
+		r, err := n.ShortestRoute("a", "e")
+		if err != nil {
+			return errors.Is(err, ErrUnreachable)
+		}
+		// Validate the path hop by hop.
+		total := 0.0
+		for i := 0; i+1 < len(r.Path); i++ {
+			x, y := r.Path[i], r.Path[i+1]
+			if n.LinkFailed(x, y) {
+				return false
+			}
+			lat := math.Inf(1)
+			for _, l := range links {
+				if (l.a == x && l.b == y) || (l.a == y && l.b == x) {
+					if !n.LinkFailed(l.a, l.b) && l.lat < lat {
+						lat = l.lat
+					}
+				}
+			}
+			if math.IsInf(lat, 1) {
+				return false // hop not backed by any live link
+			}
+			total += lat
+		}
+		return math.Abs(total-r.LatencyMs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkShortestRoutePaperOverlay(b *testing.B) {
+	n := PaperOverlay()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.ShortestRoute("region1", "region3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

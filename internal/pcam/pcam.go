@@ -1,0 +1,453 @@
+// Package pcam reproduces the PCAM framework ("Machine Learning for Achieving
+// Self-* Properties and Seamless Execution of Applications in the Cloud",
+// NCCA 2015) that manages a single cloud region inside ACM.  Its central
+// component is the Virtual Machine Controller (VMC): it keeps some VMs
+// hosting server replicas ACTIVE and others STANDBY, maps an ML model to each
+// VM to predict its Remaining Time To Failure at runtime, and whenever the
+// predicted RTTF of an ACTIVE VM drops below a threshold it sends an ACTIVATE
+// command to a STANDBY VM and a REJUVENATE command to the about-to-fail VM.
+// The VMC also hosts the region's load balancer, which spreads the incoming
+// client requests over the ACTIVE VMs, and implements the ADDVMS elasticity
+// action used by the closed control loop when the predicted response time
+// exceeds its threshold.
+package pcam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloudsim"
+	"repro/internal/features"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// RTTFPredictor estimates the remaining time to failure of a VM from its most
+// recent feature sample.  The production implementation wraps an f2pm model;
+// the oracle implementation uses the simulator's ground truth and exists to
+// quantify how much prediction error costs (an ablation the reproduction
+// adds).
+type RTTFPredictor interface {
+	// PredictRTTF returns the estimated remaining time to failure in seconds.
+	PredictRTTF(vm *cloudsim.VM, sample features.Vector) float64
+}
+
+// PredictorFunc adapts a function to the RTTFPredictor interface.
+type PredictorFunc func(vm *cloudsim.VM, sample features.Vector) float64
+
+// PredictRTTF implements RTTFPredictor.
+func (f PredictorFunc) PredictRTTF(vm *cloudsim.VM, sample features.Vector) float64 {
+	return f(vm, sample)
+}
+
+// ModelPredictor adapts any feature-vector predictor (such as *f2pm.Model) to
+// the RTTFPredictor interface.
+type ModelPredictor struct {
+	// Model maps a feature vector to an RTTF estimate in seconds.
+	Model interface {
+		PredictRTTF(v features.Vector) float64
+	}
+}
+
+// PredictRTTF implements RTTFPredictor by delegating to the wrapped model.
+func (p ModelPredictor) PredictRTTF(_ *cloudsim.VM, sample features.Vector) float64 {
+	return p.Model.PredictRTTF(sample)
+}
+
+// OraclePredictor returns the simulator's ground-truth RTTF given the VM's
+// currently observed request rate.  It represents a perfect ML model.
+//
+// Like a trained F2PM model — whose predictions are bounded by the label
+// range it saw during profiling — the oracle clamps its output: the request
+// rate is floored (an active VM behind a load balancer always receives at
+// least a trickle of traffic) and the predicted RTTF is capped.  Without the
+// clamps an almost-idle VM would report an effectively infinite MTTF, which
+// no real predictor would produce and which destabilises the resource
+// estimation of Policy 2.
+type OraclePredictor struct{}
+
+// Prediction clamps applied by OraclePredictor (exported so experiments can
+// reason about the predictor's range).
+const (
+	// OracleMinRate is the floor applied to the observed per-VM request rate
+	// before computing the ground-truth RTTF.
+	OracleMinRate = 0.5
+	// OracleMaxRTTF is the cap applied to the predicted RTTF, mirroring the
+	// bounded label range of a trained model: the F2PM profiling runs observe
+	// failure episodes of at most about an hour, so no trained model would
+	// ever predict a remaining lifetime beyond that (seconds).
+	OracleMaxRTTF = 3600.0
+)
+
+// PredictRTTF implements RTTFPredictor.
+func (OraclePredictor) PredictRTTF(vm *cloudsim.VM, sample features.Vector) float64 {
+	rate := sample.Get(features.RequestRate)
+	if rate < OracleMinRate {
+		rate = OracleMinRate
+	}
+	rttf := vm.TrueRTTF(rate)
+	if math.IsInf(rttf, 1) || rttf > OracleMaxRTTF {
+		return OracleMaxRTTF
+	}
+	return rttf
+}
+
+// Config tunes a VMC.
+type Config struct {
+	// RTTFThreshold is the predicted-RTTF threshold (seconds) below which the
+	// VMC proactively rejuvenates an ACTIVE VM and activates a STANDBY one.
+	RTTFThreshold float64
+	// ControlInterval is the period of the VMC's local monitor/analyze step.
+	ControlInterval simclock.Duration
+	// ResponseTimeThreshold is the predicted response-time threshold (seconds)
+	// above which the VMC adds VMs to the active pool (the ADDVMS action of
+	// Algorithm 3).  The paper uses a 1-second SLA.
+	ResponseTimeThreshold float64
+	// MinActive is the minimum number of ACTIVE VMs the elasticity controller
+	// keeps.
+	MinActive int
+	// TargetActive is the number of ACTIVE VMs the controller maintains: when
+	// failures or rejuvenations shrink the active pool below the target and
+	// healthy standby VMs are available, the control tick promotes standbys
+	// until the target is reached again.  Zero means "the number of VMs that
+	// were active when the controller started".
+	TargetActive int
+	// ScaleDownRMTTF: when the region's RMTTF exceeds this threshold
+	// (seconds) and more than MinActive VMs are active, one VM is deactivated
+	// (the "deactivate some active VMs" branch of Section V).  Zero disables
+	// scale-down.
+	ScaleDownRMTTF float64
+	// ElasticityEnabled turns the ADDVMS / scale-down logic on.
+	ElasticityEnabled bool
+	// RMTTFBeta is the smoothing factor applied to the locally computed
+	// region RMTTF before it is reported to the leader (the paper smooths at
+	// the leader with equation 1; smoothing locally as well keeps the local
+	// elasticity decisions from reacting to single-sample noise).
+	RMTTFBeta float64
+}
+
+// DefaultConfig returns the VMC configuration used by the reproduction's
+// experiments: proactive rejuvenation when the predicted RTTF drops below 10
+// minutes, a 30-second control interval and the 1-second response-time SLA.
+func DefaultConfig() Config {
+	return Config{
+		RTTFThreshold:         600,
+		ControlInterval:       30 * simclock.Second,
+		ResponseTimeThreshold: 1.0,
+		MinActive:             2,
+		ElasticityEnabled:     true,
+		RMTTFBeta:             0.5,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTTFThreshold <= 0 {
+		c.RTTFThreshold = 600
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 30 * simclock.Second
+	}
+	if c.ResponseTimeThreshold <= 0 {
+		c.ResponseTimeThreshold = 1.0
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	if c.RMTTFBeta <= 0 || c.RMTTFBeta > 1 {
+		c.RMTTFBeta = 0.5
+	}
+	return c
+}
+
+// Stats aggregates the VMC's lifetime counters.
+type Stats struct {
+	// ProactiveRejuvenations counts rejuvenations triggered by the RTTF
+	// threshold (the intended path).
+	ProactiveRejuvenations uint64
+	// ReactiveRecoveries counts recoveries of VMs that failed before the
+	// predictor caught them.
+	ReactiveRecoveries uint64
+	// Activations counts STANDBY->ACTIVE transitions commanded by the VMC.
+	Activations uint64
+	// Deactivations counts ACTIVE->STANDBY transitions commanded by the
+	// scale-down logic.
+	Deactivations uint64
+	// ProvisionedVMs counts VMs added through the ADDVMS action.
+	ProvisionedVMs uint64
+	// ControlTicks counts executed control iterations.
+	ControlTicks uint64
+}
+
+// VMC is the Virtual Machine Controller of one cloud region.
+type VMC struct {
+	region    *cloudsim.Region
+	predictor RTTFPredictor
+	cfg       Config
+
+	rr           int // round-robin cursor of the local load balancer
+	rmttf        *stats.EWMA
+	lastRMTTF    float64 // last raw (un-smoothed) RMTTF computed from predictions
+	predicted    map[string]float64
+	targetActive int
+
+	stats   Stats
+	started bool
+	stop    func()
+}
+
+// NewVMC builds the controller for a region.  The predictor must not be nil.
+func NewVMC(region *cloudsim.Region, predictor RTTFPredictor, cfg Config) (*VMC, error) {
+	if region == nil {
+		return nil, fmt.Errorf("pcam: nil region")
+	}
+	if predictor == nil {
+		return nil, fmt.Errorf("pcam: nil predictor")
+	}
+	cfg = cfg.withDefaults()
+	target := cfg.TargetActive
+	if target <= 0 {
+		target = len(region.ActiveVMs())
+	}
+	if target < cfg.MinActive {
+		target = cfg.MinActive
+	}
+	return &VMC{
+		region:       region,
+		predictor:    predictor,
+		cfg:          cfg,
+		rmttf:        stats.NewEWMA(cfg.RMTTFBeta),
+		predicted:    map[string]float64{},
+		targetActive: target,
+	}, nil
+}
+
+// TargetActive returns the number of ACTIVE VMs the controller maintains.
+func (v *VMC) TargetActive() int { return v.targetActive }
+
+// Region returns the managed region.
+func (v *VMC) Region() *cloudsim.Region { return v.region }
+
+// Config returns the controller configuration (with defaults applied).
+func (v *VMC) Config() Config { return v.cfg }
+
+// Stats returns a copy of the lifetime counters.
+func (v *VMC) Stats() Stats { return v.stats }
+
+// Start installs the failure hooks and the periodic control tick.
+func (v *VMC) Start(eng *simclock.Engine) {
+	if v.started {
+		return
+	}
+	v.started = true
+	for _, vm := range v.region.VMs() {
+		v.hookVM(eng, vm)
+	}
+	v.stop = eng.Ticker(v.cfg.ControlInterval, func(e *simclock.Engine) { v.ControlTick(e) })
+}
+
+// Stop halts the periodic control tick.
+func (v *VMC) Stop() {
+	if v.stop != nil {
+		v.stop()
+		v.stop = nil
+	}
+	v.started = false
+}
+
+// hookVM chains the reactive-recovery handler onto the VM's failure hook.
+func (v *VMC) hookVM(eng *simclock.Engine, vm *cloudsim.VM) {
+	prev := vm.OnFailure
+	vm.OnFailure = func(failed *cloudsim.VM, at simclock.Time) {
+		if prev != nil {
+			prev(failed, at)
+		}
+		v.stats.ReactiveRecoveries++
+		// Promote a standby replacement immediately, then restart the failed
+		// VM through the rejuvenation path.
+		v.activateStandby(eng)
+		failed.RecoverFromFailure(eng)
+	}
+}
+
+// Submit implements the region's load balancer: the request is dispatched to
+// the ACTIVE VM with the shortest queue (ties broken round-robin), which both
+// spreads load and avoids pushing work onto a VM that is already struggling.
+// When no ACTIVE VM exists the request is dropped.
+func (v *VMC) Submit(eng *simclock.Engine, req *cloudsim.Request) {
+	active := v.region.ActiveVMs()
+	if len(active) == 0 {
+		if req.OnDone != nil {
+			req.OnDone(cloudsim.Outcome{Request: req, Region: v.region.Name(), Start: eng.Now(), End: eng.Now(), Dropped: true})
+		}
+		return
+	}
+	v.rr++
+	best := active[v.rr%len(active)]
+	for i, vm := range active {
+		if vm.QueueLength() < best.QueueLength() {
+			best = active[i]
+		}
+	}
+	best.Dispatch(eng, req)
+}
+
+// ControlTick runs one local monitor/analyze/execute iteration: it samples
+// every ACTIVE VM, predicts its RTTF, proactively rejuvenates the VMs whose
+// predicted RTTF fell below the threshold, refreshes the region RMTTF, and
+// applies the elasticity actions.
+func (v *VMC) ControlTick(eng *simclock.Engine) {
+	v.stats.ControlTicks++
+	// Keep the active pool at its target size: failures and rejuvenations
+	// shrink it, and rejuvenated VMs come back as STANDBY.
+	for len(v.region.ActiveVMs()) < v.targetActive {
+		if !v.activateStandby(eng) {
+			break
+		}
+	}
+	active := v.region.ActiveVMs()
+	if len(active) == 0 {
+		return
+	}
+
+	// Monitor + analyze: predict the RTTF of each active VM.
+	type vmPrediction struct {
+		vm   *cloudsim.VM
+		rttf float64
+		resp float64
+	}
+	preds := make([]vmPrediction, 0, len(active))
+	sum := 0.0
+	reportable := 0
+	respSum := 0.0
+	respSamples := 0
+	for _, vm := range active {
+		sample := vm.Sample(eng.Now())
+		rttf := v.predictor.PredictRTTF(vm, sample)
+		v.predicted[vm.ID()] = rttf
+		resp := sample.Get(features.ResponseTimeMs) / 1000
+		preds = append(preds, vmPrediction{vm: vm, rttf: rttf, resp: resp})
+		if sample.Get(features.RequestRate) <= 0 {
+			// A VM that served nothing in the interval (typically one that was
+			// activated moments ago) carries no information about the region's
+			// health; folding its "no data" prediction into the RMTTF would
+			// inflate the estimate exactly when the region is churning.
+			continue
+		}
+		// The failure point of F2PM is not only a crash: a sustained SLA
+		// violation counts as a failure too.  A VM whose observed response
+		// time already exceeds the SLA is therefore on its way to the failure
+		// point no matter how much anomaly budget is left, so the RMTTF
+		// reported to the leader reflects that (the policies then move load
+		// away from the overloaded region).  The per-VM rejuvenation decision
+		// below keeps using the anomaly-based prediction: rejuvenating a
+		// fresh-but-overloaded VM would not help.
+		reported := rttf
+		if v.cfg.ResponseTimeThreshold > 0 && resp > v.cfg.ResponseTimeThreshold {
+			if slaRTTF := v.cfg.RTTFThreshold * v.cfg.ResponseTimeThreshold / resp; slaRTTF < reported {
+				reported = slaRTTF
+			}
+		}
+		sum += reported
+		reportable++
+		respSum += resp
+		respSamples++
+	}
+	if reportable > 0 {
+		v.lastRMTTF = sum / float64(reportable)
+		v.rmttf.Update(v.lastRMTTF)
+	}
+	meanResp := 0.0
+	if respSamples > 0 {
+		meanResp = respSum / float64(respSamples)
+	}
+
+	// Execute: proactive rejuvenation of about-to-fail VMs (worst first, and
+	// never below MinActive active VMs unless a standby can take over).
+	sort.Slice(preds, func(i, j int) bool { return preds[i].rttf < preds[j].rttf })
+	for _, p := range preds {
+		if p.rttf >= v.cfg.RTTFThreshold {
+			break
+		}
+		replaced := v.activateStandby(eng)
+		if !replaced && len(v.region.ActiveVMs()) <= v.cfg.MinActive {
+			// No spare capacity: keep the VM alive rather than dropping below
+			// the minimum; the next tick will retry.
+			continue
+		}
+		if p.vm.Rejuvenate(eng) {
+			v.stats.ProactiveRejuvenations++
+		}
+	}
+
+	if v.cfg.ElasticityEnabled {
+		v.applyElasticity(eng, meanResp)
+	}
+}
+
+// applyElasticity implements the ADDVMS action and the scale-down branch.
+func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
+	if meanResp > v.cfg.ResponseTimeThreshold {
+		v.targetActive++
+		if !v.activateStandby(eng) && v.region.CanProvision() {
+			added := v.region.Provision(1)
+			for _, vm := range added {
+				v.hookVM(eng, vm)
+				if vm.Activate(eng) {
+					v.stats.Activations++
+				}
+				v.stats.ProvisionedVMs++
+			}
+		}
+		return
+	}
+	if v.cfg.ScaleDownRMTTF > 0 && v.rmttf.Value() > v.cfg.ScaleDownRMTTF {
+		active := v.region.ActiveVMs()
+		if len(active) > v.cfg.MinActive {
+			// Deactivate the healthiest VM: it has the most anomaly budget
+			// left, so parking it wastes the least remaining lifetime.
+			best := active[0]
+			for _, vm := range active[1:] {
+				if vm.HealthFraction() > best.HealthFraction() {
+					best = vm
+				}
+			}
+			if best.Deactivate() {
+				v.stats.Deactivations++
+				if v.targetActive > v.cfg.MinActive {
+					v.targetActive--
+				}
+			}
+		}
+	}
+}
+
+// activateStandby promotes one STANDBY VM to ACTIVE, returning whether a VM
+// was promoted.
+func (v *VMC) activateStandby(eng *simclock.Engine) bool {
+	standby := v.region.StandbyVMs()
+	if len(standby) == 0 {
+		return false
+	}
+	if standby[0].Activate(eng) {
+		v.stats.Activations++
+		return true
+	}
+	return false
+}
+
+// RMTTF returns the smoothed Region Mean Time To Failure computed from the
+// most recent predictions — the lastRMTTF_i value the VMC periodically sends
+// to the leader VMC.
+func (v *VMC) RMTTF() float64 { return v.rmttf.Value() }
+
+// LastRawRMTTF returns the most recent un-smoothed RMTTF (useful for tests
+// and reporting).
+func (v *VMC) LastRawRMTTF() float64 { return v.lastRMTTF }
+
+// PredictedRTTF returns the last predicted RTTF for the given VM (0 when the
+// VM has not been evaluated yet).
+func (v *VMC) PredictedRTTF(vmID string) float64 { return v.predicted[vmID] }
+
+// ActiveVMs returns the number of currently ACTIVE VMs in the region.
+func (v *VMC) ActiveVMs() int { return len(v.region.ActiveVMs()) }

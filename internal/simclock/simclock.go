@@ -1,0 +1,282 @@
+// Package simclock provides the discrete-event simulation kernel used by the
+// ACM Framework reproduction: a simulated clock, a priority event queue, and a
+// deterministic pseudo-random number generator.
+//
+// The paper's evaluation runs on a real testbed (Amazon EC2 + a private
+// server); this package is the substrate that replaces wall-clock time so the
+// whole system can be exercised deterministically on a laptop.  All components
+// of the simulated world (virtual machines, clients, controllers, the overlay
+// network) schedule work as events against a single Engine.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Time is a simulated timestamp expressed in seconds since the start of the
+// simulation.  A float64 keeps the arithmetic simple and is precise enough for
+// the multi-hour horizons used by the experiments (sub-microsecond resolution
+// over days).
+type Time float64
+
+// Duration is a simulated time span in seconds.
+type Duration float64
+
+// Common duration helpers, mirroring the time package so call sites read
+// naturally (e.g. 5*simclock.Second).
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+)
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the timestamp as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Std converts a simulated duration to a time.Duration for reporting.
+func (d Duration) Std() time.Duration { return time.Duration(float64(d) * float64(time.Second)) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String renders the time as "[s=123.456]".
+func (t Time) String() string { return fmt.Sprintf("[s=%.3f]", float64(t)) }
+
+// Event is a unit of scheduled work.  Fire is invoked with the engine so the
+// handler can schedule follow-up events.
+type Event interface {
+	// Fire executes the event at its scheduled time.
+	Fire(eng *Engine)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(eng *Engine)
+
+// Fire implements Event.
+func (f EventFunc) Fire(eng *Engine) { f(eng) }
+
+// scheduled is an internal heap entry.
+type scheduled struct {
+	at    Time
+	seq   uint64 // tie-breaker to keep FIFO order for same-time events
+	ev    Event
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	entry *scheduled
+}
+
+// Cancel prevents the event from firing.  Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.entry != nil {
+		h.entry.dead = true
+	}
+}
+
+// Cancelled reports whether the handle has been cancelled or already fired.
+func (h Handle) Cancelled() bool { return h.entry == nil || h.entry.dead }
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*scheduled)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrHorizonReached is returned by Run when the configured horizon is hit
+// before the event queue drains.
+var ErrHorizonReached = errors.New("simclock: horizon reached")
+
+// Engine is the discrete-event simulation engine.  It is not safe for
+// concurrent use: the simulated world is single-threaded by design so that
+// runs are reproducible.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *RNG
+	fired   uint64
+	horizon Time
+	stopped bool
+}
+
+// NewEngine returns an engine starting at time zero with the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed), horizon: Time(math.Inf(1))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled entries not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues ev to fire after delay d (relative to Now).  Negative
+// delays are clamped to zero.
+func (e *Engine) Schedule(d Duration, ev Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), ev)
+}
+
+// ScheduleFunc is a convenience wrapper around Schedule for plain functions.
+func (e *Engine) ScheduleFunc(d Duration, fn func(*Engine)) Handle {
+	return e.Schedule(d, EventFunc(fn))
+}
+
+// ScheduleAt enqueues ev to fire at the absolute simulated time at.  Times in
+// the past are clamped to Now so causality is preserved.
+func (e *Engine) ScheduleAt(at Time, ev Event) Handle {
+	if at < e.now {
+		at = e.now
+	}
+	s := &scheduled{at: at, seq: e.seq, ev: ev}
+	e.seq++
+	heap.Push(&e.queue, s)
+	return Handle{entry: s}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is exceeded, or Stop is called.  It returns ErrHorizonReached when
+// the horizon cut the run short, and nil otherwise.
+func (e *Engine) Run(horizon Duration) error {
+	e.horizon = Time(horizon)
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > e.horizon {
+			e.now = e.horizon
+			return ErrHorizonReached
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.ev.Fire(e)
+		e.fired++
+	}
+	if !e.stopped && e.now < e.horizon && !math.IsInf(float64(e.horizon), 1) {
+		// Advance to the horizon even if the queue drained early so metrics
+		// sampled "at the end of the run" observe the full window.
+		e.now = e.horizon
+	}
+	return nil
+}
+
+// RunUntilEmpty executes all scheduled events with no horizon.
+func (e *Engine) RunUntilEmpty() {
+	e.horizon = Time(math.Inf(1))
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*scheduled)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.ev.Fire(e)
+		e.fired++
+	}
+}
+
+// Step executes the single next pending event, if any, and reports whether an
+// event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*scheduled)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.ev.Fire(e)
+		e.fired++
+		return true
+	}
+	return false
+}
+
+// PendingTimes returns the timestamps of all live pending events in ascending
+// order.  Intended for tests and debugging.
+func (e *Engine) PendingTimes() []Time {
+	var out []Time
+	for _, s := range e.queue {
+		if !s.dead {
+			out = append(out, s.at)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ticker schedules fn every period until the returned stop function is called
+// or the engine drains.  The first invocation happens after one period.
+func (e *Engine) Ticker(period Duration, fn func(*Engine)) (stop func()) {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	stopped := false
+	var tick func(*Engine)
+	tick = func(eng *Engine) {
+		if stopped {
+			return
+		}
+		fn(eng)
+		if !stopped {
+			eng.ScheduleFunc(period, tick)
+		}
+	}
+	e.ScheduleFunc(period, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRecordAndLookup(t *testing.T) {
+	r := NewRecorder()
+	r.Record("rmttf", "region1", 0, 100)
+	r.Record("rmttf", "region1", 10, 110)
+	r.Record("rmttf", "region2", 0, 90)
+	r.Record("fraction", "region1", 0, 0.5)
+
+	if len(r.SetNames()) != 2 {
+		t.Fatalf("expected 2 sets, got %v", r.SetNames())
+	}
+	if r.Series("rmttf", "region1").Len() != 2 {
+		t.Fatal("region1 should have 2 points")
+	}
+	// Series() must not duplicate existing series.
+	if got := len(r.Set("rmttf").Series); got != 2 {
+		t.Fatalf("rmttf set should have 2 series, got %d", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("rmttf", "region1", 0, 100)
+	r.Record("rmttf", "region1", 10, 110)
+	r.Record("rmttf", "region2", 5, 90)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, "rmttf"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 distinct timestamps
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d: %v", len(rows), rows)
+	}
+	if rows[0][0] != "time_s" || rows[0][1] != "region1" || rows[0][2] != "region2" {
+		t.Fatalf("bad header: %v", rows[0])
+	}
+	// At t=5 region1 holds its previous value 100 (step interpolation).
+	if rows[2][0] != "5" || rows[2][1] != "100" || rows[2][2] != "90" {
+		t.Fatalf("bad interpolated row: %v", rows[2])
+	}
+}
+
+func TestWriteCSVUnknownSet(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, "nope"); err == nil {
+		t.Fatal("expected error for unknown set")
+	}
+}
+
+func TestWriteAllCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", "s", 0, 1)
+	r.Record("b", "s", 0, 2)
+	var buf bytes.Buffer
+	if err := r.WriteAllCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# a") || !strings.Contains(out, "# b") {
+		t.Fatalf("missing set headers in output:\n%s", out)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i <= 50; i++ {
+		r.Record("rmttf", "region1", float64(i), 100+float64(i))
+		r.Record("rmttf", "region2", float64(i), 200-float64(i))
+	}
+	out := ASCIIPlot(r.Set("rmttf"), PlotOptions{Title: "Figure 3 (RMTTF)", YLabel: "seconds"})
+	if !strings.Contains(out, "Figure 3 (RMTTF)") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=region1") || !strings.Contains(out, "+=region2") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "seconds") {
+		t.Fatal("y label missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("plot too small: %d lines", len(lines))
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	r := NewRecorder()
+	out := ASCIIPlot(r.Set("empty"), PlotOptions{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot should say no data:\n%s", out)
+	}
+	// A set with a series but no points is also empty.
+	r.Set("empty").Add("s")
+	out = ASCIIPlot(r.Set("empty"), PlotOptions{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("pointless plot should say no data:\n%s", out)
+	}
+}
+
+func TestASCIIPlotConstantSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", "s", 0, 5)
+	r.Record("x", "s", 10, 5)
+	out := ASCIIPlot(r.Set("x"), PlotOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series should still be plotted:\n%s", out)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record("fraction", "region1", float64(i), 0.6)
+		r.Record("fraction", "region2", float64(i), 0.4)
+	}
+	out := SummaryTable(r.Set("fraction"), 0.3)
+	if !strings.Contains(out, "region1") || !strings.Contains(out, "region2") {
+		t.Fatalf("summary missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "0.6000") {
+		t.Fatalf("summary should contain the tail mean:\n%s", out)
+	}
+}

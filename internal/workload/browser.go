@@ -1,0 +1,465 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Dispatcher is the entry point requests are submitted to: in the full system
+// it is the load balancer of the cloud region the client is connected to
+// (which may forward the request to another region according to the global
+// forward plan).  Tests can plug in a single VM or a stub.
+type Dispatcher interface {
+	// Submit hands the request to the region's load balancer.  Implementations
+	// must eventually invoke the request's OnDone callback (directly or through
+	// the VM that serves it).
+	Submit(eng *simclock.Engine, req *cloudsim.Request)
+}
+
+// DispatcherFunc adapts a function to the Dispatcher interface.
+type DispatcherFunc func(eng *simclock.Engine, req *cloudsim.Request)
+
+// Submit implements Dispatcher.
+func (f DispatcherFunc) Submit(eng *simclock.Engine, req *cloudsim.Request) { f(eng, req) }
+
+// BrowserConfig holds the knobs of one emulated browser.
+type BrowserConfig struct {
+	// ID identifies the browser ("region1-eb007").
+	ID string
+	// Region is the cloud region the browser is connected to; it becomes the
+	// EntryRegion of every request it issues.
+	Region string
+	// Mix is the interaction mix the browser draws from.
+	Mix Mix
+	// ThinkTimeMean is the mean of the exponentially distributed think time
+	// between receiving a response and issuing the next interaction.  TPC-W
+	// prescribes a mean of 7 seconds for emulated browsers.
+	ThinkTimeMean simclock.Duration
+	// SessionLength is the mean number of interactions per user session; after
+	// a session ends the browser immediately starts a new one (new user).  It
+	// only affects bookkeeping, not load.  Zero means 50.
+	SessionLength int
+	// Timeout aborts an interaction that has not completed after this long and
+	// counts it as an error (the emulated user gives up).  Zero disables the
+	// timeout.
+	Timeout simclock.Duration
+}
+
+// withDefaults fills zero fields with the TPC-W defaults.
+func (c BrowserConfig) withDefaults() BrowserConfig {
+	if c.ThinkTimeMean <= 0 {
+		c.ThinkTimeMean = 7 * simclock.Second
+	}
+	if c.SessionLength <= 0 {
+		c.SessionLength = 50
+	}
+	return c
+}
+
+// Browser is one emulated web browser running a closed-loop TPC-W session.
+type Browser struct {
+	cfg     BrowserConfig
+	rng     *simclock.RNG
+	target  Dispatcher
+	metrics *Metrics
+
+	running   bool
+	nextReqID uint64
+	sessions  uint64
+	inSession int
+}
+
+// NewBrowser builds an emulated browser that submits requests to target and
+// records outcomes into metrics (which may be shared across browsers).
+func NewBrowser(cfg BrowserConfig, rng *simclock.RNG, target Dispatcher, metrics *Metrics) *Browser {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &Browser{cfg: cfg.withDefaults(), rng: rng, target: target, metrics: metrics}
+}
+
+// ID returns the browser identifier.
+func (b *Browser) ID() string { return b.cfg.ID }
+
+// Sessions returns the number of completed user sessions.
+func (b *Browser) Sessions() uint64 { return b.sessions }
+
+// Start begins the closed loop: the first interaction is issued after a
+// random fraction of the think time so that browsers do not fire in lockstep.
+func (b *Browser) Start(eng *simclock.Engine) {
+	if b.running {
+		return
+	}
+	b.running = true
+	initial := simclock.Duration(b.rng.Uniform(0, b.cfg.ThinkTimeMean.Seconds()))
+	eng.ScheduleFunc(initial, b.issue)
+}
+
+// Stop ends the closed loop after the in-flight interaction (if any)
+// completes.
+func (b *Browser) Stop() { b.running = false }
+
+// Running reports whether the browser loop is active.
+func (b *Browser) Running() bool { return b.running }
+
+// issue sends the next interaction.
+func (b *Browser) issue(eng *simclock.Engine) {
+	if !b.running {
+		return
+	}
+	it := b.cfg.Mix.Pick(b.rng)
+	b.nextReqID++
+	b.inSession++
+	if b.inSession >= b.cfg.SessionLength {
+		b.inSession = 0
+		b.sessions++
+	}
+	req := &cloudsim.Request{
+		ID:            b.nextReqID,
+		Class:         it.Name,
+		ServiceFactor: it.ServiceFactor,
+		EntryRegion:   b.cfg.Region,
+		Arrival:       eng.Now(),
+	}
+
+	completed := false
+	var timeoutHandle simclock.Handle
+	req.OnDone = func(o cloudsim.Outcome) {
+		if completed {
+			return
+		}
+		completed = true
+		timeoutHandle.Cancel()
+		b.metrics.record(b.cfg.Region, o)
+		b.scheduleNext(eng)
+	}
+	if b.cfg.Timeout > 0 {
+		timeoutHandle = eng.ScheduleFunc(b.cfg.Timeout, func(e *simclock.Engine) {
+			if completed {
+				return
+			}
+			completed = true
+			b.metrics.recordTimeout(b.cfg.Region)
+			b.scheduleNext(e)
+		})
+	}
+	b.metrics.issued(b.cfg.Region)
+	b.target.Submit(eng, req)
+}
+
+// scheduleNext waits the exponential think time and issues the next
+// interaction.
+func (b *Browser) scheduleNext(eng *simclock.Engine) {
+	if !b.running {
+		return
+	}
+	think := simclock.Duration(b.rng.Exp(b.cfg.ThinkTimeMean.Seconds()))
+	eng.ScheduleFunc(think, b.issue)
+}
+
+// PopulationConfig describes the client population connected to one region.
+type PopulationConfig struct {
+	// Region is the region the clients connect to.
+	Region string
+	// Clients is the number of concurrently emulated browsers.
+	Clients int
+	// Mix is the interaction mix (BrowsingMix when zero-valued).
+	Mix Mix
+	// ThinkTimeMean overrides the browsers' mean think time (7 s when zero).
+	ThinkTimeMean simclock.Duration
+	// Timeout is the per-interaction timeout passed to every browser.
+	Timeout simclock.Duration
+	// RampUp spreads the browser start times over this window instead of
+	// starting all at once.
+	RampUp simclock.Duration
+}
+
+// Population is a set of emulated browsers attached to one region.
+type Population struct {
+	cfg      PopulationConfig
+	browsers []*Browser
+}
+
+// NewPopulation builds the browsers of one region.  All browsers share the
+// provided metrics sink.
+func NewPopulation(cfg PopulationConfig, rng *simclock.RNG, target Dispatcher, metrics *Metrics) *Population {
+	if cfg.Mix.Name == "" {
+		cfg.Mix = BrowsingMix()
+	}
+	p := &Population{cfg: cfg}
+	for i := 0; i < cfg.Clients; i++ {
+		bc := BrowserConfig{
+			ID:            fmt.Sprintf("%s-eb%03d", cfg.Region, i+1),
+			Region:        cfg.Region,
+			Mix:           cfg.Mix,
+			ThinkTimeMean: cfg.ThinkTimeMean,
+			Timeout:       cfg.Timeout,
+		}
+		p.browsers = append(p.browsers, NewBrowser(bc, rng.Fork(), target, metrics))
+	}
+	return p
+}
+
+// Region returns the region the population connects to.
+func (p *Population) Region() string { return p.cfg.Region }
+
+// Size returns the number of browsers.
+func (p *Population) Size() int { return len(p.browsers) }
+
+// Browsers returns the individual browsers.
+func (p *Population) Browsers() []*Browser { return p.browsers }
+
+// Start launches every browser, spreading starts over the ramp-up window.
+func (p *Population) Start(eng *simclock.Engine) {
+	for i, b := range p.browsers {
+		b := b
+		if p.cfg.RampUp > 0 && len(p.browsers) > 1 {
+			delay := simclock.Duration(float64(p.cfg.RampUp) * float64(i) / float64(len(p.browsers)))
+			eng.ScheduleFunc(delay, func(e *simclock.Engine) { b.Start(e) })
+		} else {
+			b.Start(eng)
+		}
+	}
+}
+
+// Stop halts every browser.
+func (p *Population) Stop() {
+	for _, b := range p.browsers {
+		b.Stop()
+	}
+}
+
+// ExpectedRate returns the steady-state request rate (requests per second) a
+// closed-loop population of this size generates when the mean response time
+// is small compared to the think time: clients / thinkTime.
+func (p *Population) ExpectedRate() float64 {
+	think := p.cfg.ThinkTimeMean
+	if think <= 0 {
+		think = 7 * simclock.Second
+	}
+	return float64(p.cfg.Clients) / think.Seconds()
+}
+
+// OpenLoopConfig describes a Poisson open-loop request source, used by unit
+// tests and by the ablation experiments that need a precisely controlled
+// request rate λ (the global incoming request rate of equation 3).
+type OpenLoopConfig struct {
+	// Region is the entry region of the generated requests.
+	Region string
+	// RatePerSec is the Poisson arrival rate.
+	RatePerSec float64
+	// Mix is the interaction mix (BrowsingMix when zero-valued).
+	Mix Mix
+}
+
+// OpenLoop is a Poisson request generator.
+type OpenLoop struct {
+	cfg     OpenLoopConfig
+	rng     *simclock.RNG
+	target  Dispatcher
+	metrics *Metrics
+	running bool
+	nextID  uint64
+}
+
+// NewOpenLoop builds an open-loop generator.
+func NewOpenLoop(cfg OpenLoopConfig, rng *simclock.RNG, target Dispatcher, metrics *Metrics) *OpenLoop {
+	if cfg.Mix.Name == "" {
+		cfg.Mix = BrowsingMix()
+	}
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &OpenLoop{cfg: cfg, rng: rng, target: target, metrics: metrics}
+}
+
+// Start begins generating arrivals.
+func (o *OpenLoop) Start(eng *simclock.Engine) {
+	if o.running || o.cfg.RatePerSec <= 0 {
+		return
+	}
+	o.running = true
+	o.scheduleNext(eng)
+}
+
+// Stop halts the generator.
+func (o *OpenLoop) Stop() { o.running = false }
+
+func (o *OpenLoop) scheduleNext(eng *simclock.Engine) {
+	if !o.running {
+		return
+	}
+	gap := simclock.Duration(o.rng.Exp(1 / o.cfg.RatePerSec))
+	eng.ScheduleFunc(gap, func(e *simclock.Engine) {
+		if !o.running {
+			return
+		}
+		it := o.cfg.Mix.Pick(o.rng)
+		o.nextID++
+		req := &cloudsim.Request{
+			ID:            o.nextID,
+			Class:         it.Name,
+			ServiceFactor: it.ServiceFactor,
+			EntryRegion:   o.cfg.Region,
+			Arrival:       e.Now(),
+			OnDone:        func(out cloudsim.Outcome) { o.metrics.record(o.cfg.Region, out) },
+		}
+		o.metrics.issued(o.cfg.Region)
+		o.target.Submit(e, req)
+		o.scheduleNext(e)
+	})
+}
+
+// Metrics aggregates client-side observations: per-region issued/completed/
+// dropped counts and response-time distributions.  The paper's figures plot
+// "the average response time measured by all clients", which is exactly what
+// GlobalResponseTime reports.
+type Metrics struct {
+	perRegion map[string]*regionMetrics
+	global    regionMetrics
+}
+
+type regionMetrics struct {
+	issued    uint64
+	completed uint64
+	dropped   uint64
+	timeouts  uint64
+	slaMiss   uint64
+	resp      stats.Welford
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{perRegion: map[string]*regionMetrics{}}
+}
+
+// SLAThresholdSeconds is the response-time SLA the paper uses when reporting
+// client-side behaviour: 1 second.
+const SLAThresholdSeconds = 1.0
+
+func (m *Metrics) region(name string) *regionMetrics {
+	rm, ok := m.perRegion[name]
+	if !ok {
+		rm = &regionMetrics{}
+		m.perRegion[name] = rm
+	}
+	return rm
+}
+
+func (m *Metrics) issued(region string) {
+	m.region(region).issued++
+	m.global.issued++
+}
+
+func (m *Metrics) record(region string, o cloudsim.Outcome) {
+	rm := m.region(region)
+	if o.Dropped {
+		rm.dropped++
+		m.global.dropped++
+		return
+	}
+	rt := o.ResponseTime().Seconds()
+	rm.completed++
+	rm.resp.Add(rt)
+	m.global.completed++
+	m.global.resp.Add(rt)
+	if rt > SLAThresholdSeconds {
+		rm.slaMiss++
+		m.global.slaMiss++
+	}
+}
+
+func (m *Metrics) recordTimeout(region string) {
+	m.region(region).timeouts++
+	m.global.timeouts++
+}
+
+// Issued returns the number of requests issued by clients of the region ("" =
+// global).
+func (m *Metrics) Issued(region string) uint64 {
+	if region == "" {
+		return m.global.issued
+	}
+	return m.region(region).issued
+}
+
+// Completed returns the number of successfully completed requests.
+func (m *Metrics) Completed(region string) uint64 {
+	if region == "" {
+		return m.global.completed
+	}
+	return m.region(region).completed
+}
+
+// Dropped returns the number of dropped requests.
+func (m *Metrics) Dropped(region string) uint64 {
+	if region == "" {
+		return m.global.dropped
+	}
+	return m.region(region).dropped
+}
+
+// Timeouts returns the number of requests abandoned by the emulated users.
+func (m *Metrics) Timeouts(region string) uint64 {
+	if region == "" {
+		return m.global.timeouts
+	}
+	return m.region(region).timeouts
+}
+
+// SLAViolations returns the number of completed requests whose response time
+// exceeded the 1-second SLA.
+func (m *Metrics) SLAViolations(region string) uint64 {
+	if region == "" {
+		return m.global.slaMiss
+	}
+	return m.region(region).slaMiss
+}
+
+// MeanResponseTime returns the mean response time in seconds observed by the
+// clients of the region ("" = all clients).
+func (m *Metrics) MeanResponseTime(region string) float64 {
+	if region == "" {
+		return m.global.resp.Mean()
+	}
+	return m.region(region).resp.Mean()
+}
+
+// ResponseTimeStdDev returns the response-time standard deviation in seconds.
+func (m *Metrics) ResponseTimeStdDev(region string) float64 {
+	if region == "" {
+		return m.global.resp.StdDev()
+	}
+	return m.region(region).resp.StdDev()
+}
+
+// Regions returns the region names observed so far, sorted.
+func (m *Metrics) Regions() []string {
+	out := make([]string, 0, len(m.perRegion))
+	for r := range m.perRegion {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuccessRatio returns completed / issued for the region ("" = global), or 0
+// when nothing was issued.
+func (m *Metrics) SuccessRatio(region string) float64 {
+	iss := m.Issued(region)
+	if iss == 0 {
+		return 0
+	}
+	return float64(m.Completed(region)) / float64(iss)
+}
+
+// String summarises the global metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("issued=%d completed=%d dropped=%d timeouts=%d meanRT=%.3fs slaMiss=%d",
+		m.global.issued, m.global.completed, m.global.dropped, m.global.timeouts,
+		m.global.resp.Mean(), m.global.slaMiss)
+}

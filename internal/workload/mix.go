@@ -1,0 +1,177 @@
+// Package workload generates the client traffic used by the paper's
+// evaluation: a TPC-W-like multi-tier e-commerce workload produced by
+// emulated web browsers.  Each browser runs a closed-loop session — issue an
+// interaction, wait for the response, think, repeat — against the load
+// balancer of the cloud region it is connected to, exactly as the TPC-W
+// specification prescribes for remote browser emulators.
+//
+// The paper modifies the TPC-W implementation so that serving a request can
+// inject software anomalies into the VM; that part lives in cloudsim (the VM
+// injects anomalies when completing a request).  This package is responsible
+// for the request mix, the think times, and the per-region client populations
+// (the paper varies the number of clients per region in [16, 512] and makes
+// sure the populations differ significantly between regions).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// Interaction is one TPC-W web interaction class.
+type Interaction struct {
+	// Name is the TPC-W interaction name, e.g. "home" or "best_sellers".
+	Name string
+	// Weight is the relative frequency of the interaction in a mix.
+	Weight float64
+	// ServiceFactor scales the base service demand of a VM for this
+	// interaction: database-heavy interactions (best sellers, searches,
+	// admin confirm) cost several times a plain home-page hit.
+	ServiceFactor float64
+}
+
+// The 14 TPC-W web interactions with service-demand factors reflecting how
+// database-heavy each interaction is in the Java servlet implementation used
+// by the paper.
+var interactions = []Interaction{
+	{Name: "home", ServiceFactor: 1.0},
+	{Name: "new_products", ServiceFactor: 2.2},
+	{Name: "best_sellers", ServiceFactor: 3.0},
+	{Name: "product_detail", ServiceFactor: 1.2},
+	{Name: "search_request", ServiceFactor: 0.8},
+	{Name: "search_results", ServiceFactor: 2.5},
+	{Name: "shopping_cart", ServiceFactor: 1.5},
+	{Name: "customer_registration", ServiceFactor: 0.9},
+	{Name: "buy_request", ServiceFactor: 1.8},
+	{Name: "buy_confirm", ServiceFactor: 2.8},
+	{Name: "order_inquiry", ServiceFactor: 0.7},
+	{Name: "order_display", ServiceFactor: 1.6},
+	{Name: "admin_request", ServiceFactor: 1.1},
+	{Name: "admin_confirm", ServiceFactor: 3.2},
+}
+
+// Mix is a probability distribution over the TPC-W interactions.
+type Mix struct {
+	// Name labels the mix ("browsing", "shopping", "ordering").
+	Name string
+	// Entries holds the interactions with their weights (normalised lazily).
+	Entries []Interaction
+}
+
+// mixFromWeights builds a Mix from per-interaction weights keyed by name.
+// Interactions absent from the map get weight zero.
+func mixFromWeights(name string, weights map[string]float64) Mix {
+	m := Mix{Name: name}
+	for _, it := range interactions {
+		it.Weight = weights[it.Name]
+		m.Entries = append(m.Entries, it)
+	}
+	return m
+}
+
+// BrowsingMix returns the TPC-W browsing mix (WIPSb): 95% browse / 5% order
+// interactions.  This is the mix used for the kind of read-dominated
+// e-commerce front end the paper's evaluation exercises.
+func BrowsingMix() Mix {
+	return mixFromWeights("browsing", map[string]float64{
+		"home":                  29.00,
+		"new_products":          11.00,
+		"best_sellers":          11.00,
+		"product_detail":        21.00,
+		"search_request":        12.00,
+		"search_results":        11.00,
+		"shopping_cart":         2.00,
+		"customer_registration": 0.82,
+		"buy_request":           0.75,
+		"buy_confirm":           0.69,
+		"order_inquiry":         0.30,
+		"order_display":         0.25,
+		"admin_request":         0.10,
+		"admin_confirm":         0.09,
+	})
+}
+
+// ShoppingMix returns the TPC-W shopping mix (WIPS): 80% browse / 20% order.
+func ShoppingMix() Mix {
+	return mixFromWeights("shopping", map[string]float64{
+		"home":                  16.00,
+		"new_products":          5.00,
+		"best_sellers":          5.00,
+		"product_detail":        17.00,
+		"search_request":        20.00,
+		"search_results":        17.00,
+		"shopping_cart":         11.60,
+		"customer_registration": 3.00,
+		"buy_request":           2.60,
+		"buy_confirm":           1.20,
+		"order_inquiry":         0.75,
+		"order_display":         0.66,
+		"admin_request":         0.10,
+		"admin_confirm":         0.09,
+	})
+}
+
+// OrderingMix returns the TPC-W ordering mix (WIPSo): 50% browse / 50% order.
+func OrderingMix() Mix {
+	return mixFromWeights("ordering", map[string]float64{
+		"home":                  9.12,
+		"new_products":          0.46,
+		"best_sellers":          0.46,
+		"product_detail":        12.35,
+		"search_request":        14.53,
+		"search_results":        13.08,
+		"shopping_cart":         13.53,
+		"customer_registration": 12.86,
+		"buy_request":           12.73,
+		"buy_confirm":           10.18,
+		"order_inquiry":         0.25,
+		"order_display":         0.22,
+		"admin_request":         0.12,
+		"admin_confirm":         0.11,
+	})
+}
+
+// Interactions returns the canonical list of TPC-W interactions (weights
+// zeroed), useful for enumerating classes in reports.
+func Interactions() []Interaction {
+	out := make([]Interaction, len(interactions))
+	copy(out, interactions)
+	return out
+}
+
+// Pick draws one interaction from the mix using the provided RNG.
+func (m Mix) Pick(rng *simclock.RNG) Interaction {
+	weights := make([]float64, len(m.Entries))
+	for i, e := range m.Entries {
+		weights[i] = e.Weight
+	}
+	return m.Entries[rng.Choice(weights)]
+}
+
+// MeanServiceFactor returns the weighted mean service factor of the mix, used
+// to translate a request rate into an equivalent compute demand.
+func (m Mix) MeanServiceFactor() float64 {
+	total, weighted := 0.0, 0.0
+	for _, e := range m.Entries {
+		total += e.Weight
+		weighted += e.Weight * e.ServiceFactor
+	}
+	if total == 0 {
+		return 1
+	}
+	return weighted / total
+}
+
+// Validate checks that the mix has at least one positive weight.
+func (m Mix) Validate() error {
+	for _, e := range m.Entries {
+		if e.Weight < 0 {
+			return fmt.Errorf("workload: mix %q has negative weight for %s", m.Name, e.Name)
+		}
+		if e.Weight > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("workload: mix %q has no positive weights", m.Name)
+}
