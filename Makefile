@@ -1,0 +1,34 @@
+# Build, verify and benchmark the ACM reproduction.
+#
+#   make check       # everything CI runs: fmt, vet, build, race tests, bench smoke
+#   make test        # plain test suite
+#   make race        # full suite under the race detector
+#   make bench       # the complete evaluation as benchmarks
+#   make bench-smoke # one cheap iteration of the Figure 3 benchmarks
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-smoke
+
+check: fmt vet build race bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-smoke:
+	$(GO) test -bench=Figure3 -benchtime=1x -run='^$$' .

@@ -13,6 +13,8 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/cloudsim"
@@ -95,6 +97,72 @@ func BenchmarkFigure3_QualitativeClaims(b *testing.B) {
 		}
 	}
 }
+
+// Parallel orchestration: the full figure suite (Figure 3 + Figure 4 under
+// every policy, plus a beta sweep) as one job matrix, run sequentially and on
+// the worker pool.  The two produce byte-identical results (the determinism
+// tests in internal/experiment assert it); the ratio of their ns/op is the
+// wall-clock speedup of the parallel runner on this machine's cores.
+
+// figureMatrixJobs expands the Figure 3 + Figure 4 + beta-sweep matrix.
+func figureMatrixJobs(b *testing.B) []experiment.Job {
+	b.Helper()
+	jobs, err := experiment.Matrix{
+		Scenarios: []string{"figure3", "figure4"},
+		Policies:  []string{"policy1", "policy2", "policy3"},
+		BaseSeed:  42,
+		Horizon:   benchHorizon,
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	betaJobs, err := experiment.Matrix{
+		Scenarios: []string{"figure3"},
+		Policies:  []string{"policy2"},
+		Betas:     []float64{0.25, 0.5, 0.75},
+		BaseSeed:  42,
+		Horizon:   benchHorizon,
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range betaJobs {
+		j.Index = len(jobs)
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func runMatrixBench(b *testing.B, workers int) {
+	jobs := figureMatrixJobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.RunParallel(context.Background(), jobs, experiment.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiment.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+		for _, jr := range results {
+			if jr.Result.Eras == 0 {
+				b.Fatalf("degenerate run: %s/%s", jr.Job.Scenario.Name, jr.Job.Policy.Key)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkMatrix_Sequential pins the sequential baseline: the whole matrix on
+// a single worker.
+func BenchmarkMatrix_Sequential(b *testing.B) { runMatrixBench(b, 1) }
+
+// BenchmarkMatrix_Parallel runs the same matrix with one worker per CPU.  On a
+// multi-core machine ns/op drops roughly linearly with core count (≥ 2× on 4
+// cores); on a single-core machine it matches the sequential baseline.
+func BenchmarkMatrix_Parallel(b *testing.B) { runMatrixBench(b, runtime.GOMAXPROCS(0)) }
 
 // E4: the F2PM model-training toolchain (profiling + Lasso selection + the
 // six model families + ranking), which backs the paper's REP-Tree choice.

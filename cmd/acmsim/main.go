@@ -9,6 +9,8 @@
 //	acmsim -regions 1,3 -clients 320,128 -policy policy2 -hours 2
 //	acmsim -regions 1,2,3 -clients 288,96,256 -policy policy1 -predictor ml
 //	acmsim -regions 1,3 -clients 200,200 -policy uniform -csv run.csv
+//	acmsim -scenario figure4 -policy policy2       # run a registered scenario
+//	acmsim -list-scenarios                         # list the registry
 //	acmsim -dump-config scenario.json      # write the assembled scenario
 //	acmsim -config scenario.json           # run a scenario from a JSON file
 package main
@@ -41,41 +43,116 @@ func main() {
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
+		scenario  = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
+		list      = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
 		dumpPath  = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
 	)
 	flag.Parse()
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *csvPath, *config, *dumpPath); err != nil {
+	if *list {
+		for _, name := range experiment.ScenarioNames() {
+			fmt.Printf("%-14s %s\n", name, experiment.ScenarioDescription(name))
+		}
+		return
+	}
+
+	// Track which flags the user actually set, so a registered scenario keeps
+	// its own horizon/beta/interval/predictor unless explicitly overridden.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, csvPath, configPath, dumpPath string) error {
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
 	}
 
+	var mode acm.PredictorMode
+	switch predictor {
+	case "oracle":
+		mode = acm.PredictorOracle
+	case "ml":
+		mode = acm.PredictorML
+	default:
+		return fmt.Errorf("unknown predictor %q (use oracle or ml)", predictor)
+	}
+
+	if configPath != "" && scenarioName != "" {
+		return fmt.Errorf("-config and -scenario are mutually exclusive")
+	}
+
+	// Tuning flags the user explicitly set override a loaded or registered
+	// scenario; unset flags keep the scenario's own values (e.g. the
+	// elasticity scenario's 90-minute horizon).
+	applyTuningFlags := func(sc *experiment.Scenario) error {
+		if explicit["seed"] {
+			sc.Seed = seed
+		}
+		if explicit["hours"] {
+			sc.Horizon = simclock.Duration(hours) * simclock.Hour
+		}
+		if explicit["interval"] {
+			sc.ControlInterval = simclock.Duration(intervalS)
+		}
+		if explicit["beta"] {
+			if err := experiment.ValidateBeta(beta); err != nil {
+				return err
+			}
+			sc.Beta = beta
+		}
+		if explicit["predictor"] {
+			sc.Predictor = mode
+		}
+		return nil
+	}
+	// Deployment-shape flags conflict with a complete scenario; reject them
+	// instead of silently simulating a different deployment.
+	rejectShapeFlags := func(source string) error {
+		for _, conflicting := range []string{"regions", "clients", "mix"} {
+			if explicit[conflicting] {
+				return fmt.Errorf("-%s conflicts with %s (the scenario defines the deployment)", conflicting, source)
+			}
+		}
+		return nil
+	}
+
 	var scenario experiment.Scenario
-	if configPath != "" {
+	switch {
+	case configPath != "":
+		if err := rejectShapeFlags("-config " + configPath); err != nil {
+			return err
+		}
 		scenario, err = experiment.LoadScenarioFile(configPath)
 		if err != nil {
 			return err
 		}
-	} else {
-		setups, err := parseRegions(regionSpec, clientSpec, mixName)
+		if err := applyTuningFlags(&scenario); err != nil {
+			return err
+		}
+	case scenarioName != "":
+		if err := rejectShapeFlags("-scenario " + scenarioName); err != nil {
+			return err
+		}
+		scenario, err = experiment.BuildScenario(scenarioName, seed)
 		if err != nil {
 			return err
 		}
-		var mode acm.PredictorMode
-		switch predictor {
-		case "oracle":
-			mode = acm.PredictorOracle
-		case "ml":
-			mode = acm.PredictorML
-		default:
-			return fmt.Errorf("unknown predictor %q (use oracle or ml)", predictor)
+		if err := applyTuningFlags(&scenario); err != nil {
+			return err
+		}
+	default:
+		if err := experiment.ValidateBeta(beta); err != nil {
+			return err
+		}
+		setups, err := parseRegions(regionSpec, clientSpec, mixName)
+		if err != nil {
+			return err
 		}
 		scenario = experiment.Scenario{
 			Name:            "acmsim",
@@ -95,15 +172,7 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 		return nil
 	}
 
-	mgr, err := acm.NewManager(acm.Config{
-		Seed:            scenario.Seed,
-		Regions:         scenario.Regions,
-		Policy:          np.Policy,
-		Beta:            scenario.Beta,
-		ControlInterval: scenario.ControlInterval,
-		VMC:             scenario.VMC,
-		Predictor:       scenario.Predictor,
-	})
+	mgr, err := experiment.NewManager(scenario, np)
 	if err != nil {
 		return err
 	}

@@ -19,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiment"
 	"repro/internal/simclock"
@@ -38,55 +40,82 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "deterministic simulation seed")
 		horizon  = flag.Float64("horizon", 2, "simulated hours per run")
 		csvDir   = flag.String("csv", "", "directory to write the raw time series as CSV files")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any worker count)")
 	)
 	flag.Parse()
 
-	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir); err != nil {
+	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string) error {
+func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string, workers int) error {
 	horizon := simclock.Duration(horizonHours) * simclock.Hour
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opt := experiment.Options{Workers: workers}
 
 	scenarioFor := func(fig int) (experiment.Scenario, error) {
-		switch fig {
-		case 3:
-			sc := experiment.Figure3Scenario(seed)
-			sc.Horizon = horizon
-			return sc, nil
-		case 4:
-			sc := experiment.Figure4Scenario(seed)
-			sc.Horizon = horizon
-			return sc, nil
-		default:
+		name := map[int]string{3: "figure3", 4: "figure4"}[fig]
+		if name == "" {
 			return experiment.Scenario{}, fmt.Errorf("unknown figure %d (use 3 or 4)", fig)
 		}
+		sc, err := experiment.BuildScenario(name, seed)
+		if err != nil {
+			return experiment.Scenario{}, err
+		}
+		sc.Horizon = horizon
+		return sc, nil
 	}
 
 	switch {
 	case summary:
+		// The full figure suite — both scenarios under every policy — runs as
+		// one job matrix on the worker pool, so figure-4 jobs start while
+		// figure-3 jobs are still in flight.
+		policies := experiment.Policies()
+		var scenarios []experiment.Scenario
+		var jobs []experiment.Job
 		for _, fig := range []int{3, 4} {
 			sc, err := scenarioFor(fig)
 			if err != nil {
 				return err
 			}
-			if err := runScenario(sc, "all", csvDir); err != nil {
+			scenarios = append(scenarios, sc)
+			for _, np := range policies {
+				jobs = append(jobs, experiment.Job{Index: len(jobs), Scenario: sc, Policy: np})
+			}
+		}
+		fmt.Printf("running %d jobs (%d workers) ...\n", len(jobs), opt.Workers)
+		results, err := experiment.RunParallel(context.Background(), jobs, opt)
+		if err != nil {
+			return err
+		}
+		if err := experiment.FirstError(results); err != nil {
+			return err
+		}
+		for fi, sc := range scenarios {
+			byKey := map[string]*experiment.Result{}
+			for _, jr := range results[fi*len(policies) : (fi+1)*len(policies)] {
+				byKey[jr.Job.Policy.Key] = jr.Result
+			}
+			if err := printScenario(sc, policies, byKey, csvDir); err != nil {
 				return err
 			}
 		}
 		return nil
 
 	case ablation != "":
-		return runAblation(ablation, seed, horizon)
+		return runAblation(ablation, seed, horizon, opt)
 
 	case figure != 0:
 		sc, err := scenarioFor(figure)
 		if err != nil {
 			return err
 		}
-		return runScenario(sc, policy, csvDir)
+		return runScenario(sc, policy, csvDir, opt)
 
 	default:
 		flag.Usage()
@@ -94,9 +123,10 @@ func run(figure int, policy string, summary bool, ablation string, seed uint64, 
 	}
 }
 
-// runScenario runs one scenario under the requested policies, printing the
-// ASCII figures and the summary, and optionally dumping CSVs.
-func runScenario(sc experiment.Scenario, policy, csvDir string) error {
+// runScenario runs one scenario under the requested policies on the parallel
+// runner, printing the ASCII figures and the summary in presentation order,
+// and optionally dumping CSVs.
+func runScenario(sc experiment.Scenario, policy, csvDir string, opt experiment.Options) error {
 	var policies []experiment.NamedPolicy
 	if policy == "all" || policy == "" {
 		policies = experiment.Policies()
@@ -108,14 +138,19 @@ func runScenario(sc experiment.Scenario, policy, csvDir string) error {
 		policies = []experiment.NamedPolicy{np}
 	}
 
-	results := map[string]*experiment.Result{}
+	fmt.Printf("running %s under %d policies (%d workers) ...\n", sc.Name, len(policies), opt.Workers)
+	results, err := experiment.RunPolicies(context.Background(), sc, policies, opt)
+	if err != nil {
+		return err
+	}
+	return printScenario(sc, policies, results, csvDir)
+}
+
+// printScenario renders one scenario's figures, summary table and (when every
+// paper policy is present) the claims checklist, optionally dumping CSVs.
+func printScenario(sc experiment.Scenario, policies []experiment.NamedPolicy, results map[string]*experiment.Result, csvDir string) error {
 	for _, np := range policies {
-		fmt.Printf("running %s under %s ...\n", sc.Name, np.Label)
-		res, err := experiment.Run(sc, np)
-		if err != nil {
-			return err
-		}
-		results[np.Key] = res
+		res := results[np.Key]
 		fmt.Print(experiment.FigureReport(res))
 		fmt.Println()
 		if csvDir != "" {
@@ -159,36 +194,42 @@ func writeCSVs(dir, scenario, policy string, res *experiment.Result) error {
 }
 
 // runAblation executes one of the ablation studies.
-func runAblation(kind string, seed uint64, horizon simclock.Duration) error {
-	sc := experiment.Figure3Scenario(seed)
+func runAblation(kind string, seed uint64, horizon simclock.Duration, opt experiment.Options) error {
+	sc, err := experiment.BuildScenario("figure3", seed)
+	if err != nil {
+		return err
+	}
 	sc.Horizon = horizon
 	switch kind {
 	case "beta":
 		np, _ := experiment.PolicyByKey("policy2")
-		pts, err := experiment.BetaSweep(sc, np, []float64{0.1, 0.25, 0.5, 0.75, 1.0})
+		pts, err := experiment.BetaSweep(sc, np, []float64{0.1, 0.25, 0.5, 0.75, 1.0}, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Println("β sweep (equation 1 smoothing) under Policy 2, Figure 3 scenario:")
 		fmt.Print(experiment.AblationTable(pts))
 	case "k":
-		pts, err := experiment.ExplorationKSweep(sc, []float64{0.5, 0.75, 1.0, 1.25})
+		pts, err := experiment.ExplorationKSweep(sc, []float64{0.5, 0.75, 1.0, 1.25}, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Println("k sweep (equations 6 and 8) for Policy 3, Figure 3 scenario:")
 		fmt.Print(experiment.AblationTable(pts))
 	case "baseline":
-		res, err := experiment.BaselineComparison(sc)
+		res, err := experiment.BaselineComparison(sc, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Policy 2 vs. non-adaptive baselines, Figure 3 scenario:")
 		fmt.Print(experiment.SummaryTable(res))
 	case "homogeneous":
-		hom := experiment.HomogeneousScenario(seed)
+		hom, err := experiment.BuildScenario("homogeneous", seed)
+		if err != nil {
+			return err
+		}
 		hom.Horizon = horizon
-		results, err := experiment.RunAllPolicies(hom)
+		results, err := experiment.RunPolicies(context.Background(), hom, experiment.Policies(), opt)
 		if err != nil {
 			return err
 		}
@@ -196,14 +237,17 @@ func runAblation(kind string, seed uint64, horizon simclock.Duration) error {
 		fmt.Print(experiment.SummaryTable(results))
 	case "predictor":
 		np, _ := experiment.PolicyByKey("policy2")
-		res, err := experiment.PredictorComparison(sc, np)
+		res, err := experiment.PredictorComparison(sc, np, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Println("oracle vs. trained F2PM predictor, Policy 2, Figure 3 scenario:")
 		fmt.Print(experiment.SummaryTable(res))
 	case "elasticity":
-		el := experiment.ElasticityScenario(seed)
+		el, err := experiment.BuildScenario("elasticity", seed)
+		if err != nil {
+			return err
+		}
 		np, _ := experiment.PolicyByKey("policy2")
 		res, err := experiment.Run(el, np)
 		if err != nil {

@@ -119,8 +119,9 @@ func (l *Loop) Fractions() []float64 { return append([]float64(nil), l.fractions
 // Aggregator exposes the smoothed RMTTF estimates.
 func (l *Loop) Aggregator() *Aggregator { return l.agg }
 
-// History returns the retained step results.
-func (l *Loop) History() []StepResult { return l.history }
+// History returns a copy of the retained step results, so callers cannot
+// mutate the loop's internal record (matching every other accessor here).
+func (l *Loop) History() []StepResult { return append([]StepResult(nil), l.history...) }
 
 // Step executes one complete control era: lastRMTTF holds the raw RMTTF each
 // region's VMC just reported (Analyze), lambda is the current global request

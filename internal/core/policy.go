@@ -262,6 +262,31 @@ func (s Static) Fractions(in PolicyInput) ([]float64, error) {
 	return Normalize(append([]float64(nil), s.Weights...)), nil
 }
 
+// PolicyCloner is implemented by policies that carry internal mutable state:
+// ClonePolicy returns an equivalent policy sharing none of that state.  Any
+// new stateful policy must implement it, or concurrent runs would share its
+// state; stateless value policies need not.
+type PolicyCloner interface {
+	// ClonePolicy returns a state-free copy with the same parameters.
+	ClonePolicy() Policy
+}
+
+// ClonePolicy returns a policy equivalent to p that shares no mutable state
+// with it: stateful policies (those implementing PolicyCloner) are deep
+// copied, stateless value policies are returned as-is.  Parallel experiment
+// runners clone the policy per simulation so that concurrent runs never share
+// generator state.
+func ClonePolicy(p Policy) Policy {
+	if c, ok := p.(PolicyCloner); ok {
+		return c.ClonePolicy()
+	}
+	return p
+}
+
+// ClonePolicy implements PolicyCloner: the clone starts a fresh jitter
+// sequence with the same K and Jitter parameters.
+func (p *Exploration) ClonePolicy() Policy { return &Exploration{K: p.K, Jitter: p.Jitter} }
+
 // ByName constructs one of the named policies:
 // "policy1" / "sensible" → Policy 1, "policy2" / "resources" → Policy 2,
 // "policy3" / "exploration" → Policy 3, "uniform" → uniform baseline.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -47,37 +48,66 @@ func pointFromResult(param string, value float64, label string, r *Result) Ablat
 }
 
 // BetaSweep reruns the scenario under the given policy for each smoothing
-// factor β of equation (1).  The paper fixes β implicitly; the sweep shows
-// how much the convergence behaviour depends on it.
-func BetaSweep(sc Scenario, np NamedPolicy, betas []float64) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, beta := range betas {
+// factor β of equation (1), one parallel job per β.  The paper fixes β
+// implicitly; the sweep shows how much the convergence behaviour depends on
+// it.  Every point uses the scenario's own seed, so the sweep isolates β.
+// An optional Options bounds the worker pool (GOMAXPROCS otherwise).
+func BetaSweep(sc Scenario, np NamedPolicy, betas []float64, opt ...Options) ([]AblationPoint, error) {
+	jobs := make([]Job, len(betas))
+	for i, beta := range betas {
+		if err := ValidateBeta(beta); err != nil {
+			return nil, err
+		}
 		s := sc
 		s.Beta = beta
 		s.Name = fmt.Sprintf("%s-beta%.2f", sc.Name, beta)
-		res, err := Run(s, np)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pointFromResult("beta", beta, fmt.Sprintf("β=%.2f", beta), res))
+		jobs[i] = Job{Index: i, Scenario: s, Policy: np}
 	}
-	return out, nil
+	return ablationPoints(jobs, firstOption(opt), func(i int, r *Result) AblationPoint {
+		return pointFromResult("beta", betas[i], fmt.Sprintf("β=%.2f", betas[i]), r)
+	})
 }
 
 // ExplorationKSweep reruns the scenario under Policy 3 for each scaling
-// factor k of equations (6) and (8).
-func ExplorationKSweep(sc Scenario, ks []float64) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, k := range ks {
+// factor k of equations (6) and (8), one parallel job per k.
+func ExplorationKSweep(sc Scenario, ks []float64, opt ...Options) ([]AblationPoint, error) {
+	jobs := make([]Job, len(ks))
+	for i, k := range ks {
 		s := sc
 		s.Name = fmt.Sprintf("%s-k%.2f", sc.Name, k)
-		np := NamedPolicy{Key: fmt.Sprintf("policy3-k%.2f", k), Label: fmt.Sprintf("Policy 3 (k=%.2f)", k),
-			Policy: &core.Exploration{K: k}}
-		res, err := Run(s, np)
-		if err != nil {
-			return nil, err
+		jobs[i] = Job{Index: i, Scenario: s, Policy: NamedPolicy{
+			Key:    fmt.Sprintf("policy3-k%.2f", k),
+			Label:  fmt.Sprintf("Policy 3 (k=%.2f)", k),
+			Policy: &core.Exploration{K: k},
+		}}
+	}
+	return ablationPoints(jobs, firstOption(opt), func(i int, r *Result) AblationPoint {
+		return pointFromResult("k", ks[i], fmt.Sprintf("k=%.2f", ks[i]), r)
+	})
+}
+
+// firstOption unwraps the optional trailing Options of the sweep helpers.
+func firstOption(opt []Options) Options {
+	if len(opt) > 0 {
+		return opt[0]
+	}
+	return Options{}
+}
+
+// ablationPoints runs the jobs on the parallel runner and converts each
+// result into its sweep point, preserving job order.  The first failure
+// aborts the sweep, matching the previous sequential behaviour.
+func ablationPoints(jobs []Job, opt Options, point func(i int, r *Result) AblationPoint) ([]AblationPoint, error) {
+	results, err := RunParallel(context.Background(), jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationPoint, len(results))
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, jr.Err
 		}
-		out = append(out, pointFromResult("k", k, fmt.Sprintf("k=%.2f", k), res))
+		out[i] = point(i, jr.Result)
 	}
 	return out, nil
 }
@@ -86,7 +116,7 @@ func ExplorationKSweep(sc Scenario, ks []float64) ([]AblationPoint, error) {
 // uniform split and a static split proportional to each region's nominal
 // compute capacity.  It quantifies what MTTF-driven balancing buys over
 // "reasonable" static configurations.
-func BaselineComparison(sc Scenario) (map[string]*Result, error) {
+func BaselineComparison(sc Scenario, opt ...Options) (map[string]*Result, error) {
 	sc = sc.withDefaults()
 	weights := make([]float64, len(sc.Regions))
 	for i, rs := range sc.Regions {
@@ -97,35 +127,35 @@ func BaselineComparison(sc Scenario) (map[string]*Result, error) {
 		{Key: "uniform", Label: "Uniform baseline", Policy: core.Uniform{}},
 		{Key: "static", Label: "Static capacity-proportional baseline", Policy: core.Static{Weights: weights}},
 	}
-	out := map[string]*Result{}
-	for _, np := range candidates {
-		res, err := Run(sc, np)
-		if err != nil {
-			return nil, err
-		}
-		out[np.Key] = res
-	}
-	return out, nil
+	return RunPolicies(context.Background(), sc, candidates, firstOption(opt))
 }
 
 // PredictorComparison runs the same scenario and policy with the oracle
 // predictor and with the trained F2PM model, quantifying the cost of
 // prediction error (an ablation the paper's companion works motivate).
-func PredictorComparison(sc Scenario, np NamedPolicy) (map[string]*Result, error) {
+func PredictorComparison(sc Scenario, np NamedPolicy, opt ...Options) (map[string]*Result, error) {
 	sc = sc.withDefaults()
-	out := map[string]*Result{}
-	for _, mode := range []struct {
+	modes := []struct {
 		key  string
 		mode acm.PredictorMode
-	}{{"oracle", acm.PredictorOracle}, {"ml", acm.PredictorML}} {
+	}{{"oracle", acm.PredictorOracle}, {"ml", acm.PredictorML}}
+	jobs := make([]Job, len(modes))
+	for i, mode := range modes {
 		s := sc
 		s.Predictor = mode.mode
 		s.Name = fmt.Sprintf("%s-%s", sc.Name, mode.key)
-		res, err := Run(s, np)
-		if err != nil {
-			return nil, err
+		jobs[i] = Job{Index: i, Scenario: s, Policy: np}
+	}
+	results, err := RunParallel(context.Background(), jobs, firstOption(opt))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Result{}
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, jr.Err
 		}
-		out[mode.key] = res
+		out[modes[i].key] = jr.Result
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -65,17 +66,9 @@ type Result struct {
 // Run executes the scenario under the given policy and collects the result.
 func Run(sc Scenario, np NamedPolicy) (*Result, error) {
 	sc = sc.withDefaults()
-	mgr, err := acm.NewManager(acm.Config{
-		Seed:            sc.Seed,
-		Regions:         sc.Regions,
-		Policy:          np.Policy,
-		Beta:            sc.Beta,
-		ControlInterval: sc.ControlInterval,
-		VMC:             sc.VMC,
-		Predictor:       sc.Predictor,
-	})
+	mgr, err := NewManager(sc, np)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: scenario %s policy %s: %w", sc.Name, np.Key, err)
+		return nil, err
 	}
 	if err := mgr.Run(sc.Horizon); err != nil {
 		return nil, fmt.Errorf("experiment: running %s/%s: %w", sc.Name, np.Key, err)
@@ -83,16 +76,31 @@ func Run(sc Scenario, np NamedPolicy) (*Result, error) {
 	return summarize(sc, np, mgr), nil
 }
 
-// RunAllPolicies runs the scenario under the paper's three policies and
-// returns the results keyed by policy key.
+// RunAllPolicies runs the scenario under the paper's three policies — one
+// worker per available CPU — and returns the results keyed by policy key.
 func RunAllPolicies(sc Scenario) (map[string]*Result, error) {
+	return RunPolicies(context.Background(), sc, Policies(), Options{})
+}
+
+// RunPolicies runs the scenario under each of the given policies on the
+// parallel runner and returns the results keyed by policy key.  The first
+// per-job error aborts the whole comparison, matching the sequential
+// behaviour callers relied on.
+func RunPolicies(ctx context.Context, sc Scenario, policies []NamedPolicy, opt Options) (map[string]*Result, error) {
+	jobs := make([]Job, len(policies))
+	for i, np := range policies {
+		jobs[i] = Job{Index: i, Scenario: sc, Policy: np}
+	}
+	results, err := RunParallel(ctx, jobs, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]*Result{}
-	for _, np := range Policies() {
-		res, err := Run(sc, np)
-		if err != nil {
-			return nil, err
+	for _, jr := range results {
+		if jr.Err != nil {
+			return nil, jr.Err
 		}
-		out[np.Key] = res
+		out[jr.Job.Policy.Key] = jr.Result
 	}
 	return out, nil
 }

@@ -46,6 +46,15 @@ type Scenario struct {
 	ConvergenceTolerance float64
 }
 
+// ValidateBeta rejects smoothing factors that withDefaults would silently
+// reset to 0.5, so sweeps and CLIs never report a β they did not simulate.
+func ValidateBeta(beta float64) error {
+	if beta <= 0 || beta > 1 {
+		return fmt.Errorf("experiment: beta %v outside (0, 1]", beta)
+	}
+	return nil
+}
+
 func (s Scenario) withDefaults() Scenario {
 	if s.Horizon <= 0 {
 		s.Horizon = 2 * simclock.Hour
@@ -66,6 +75,34 @@ func (s Scenario) withDefaults() Scenario {
 		s.ConvergenceTolerance = 0.3
 	}
 	return s
+}
+
+// ManagerConfig translates the scenario into the acm.Config that realises it
+// under the given policy.  A Scenario is plain data and every Manager built
+// from one owns all of its state, so any number of managers can be constructed
+// from the same scenario and run concurrently.
+func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
+	return acm.Config{
+		Seed:            s.Seed,
+		Regions:         s.Regions,
+		Policy:          p,
+		Beta:            s.Beta,
+		ControlInterval: s.ControlInterval,
+		VMC:             s.VMC,
+		Predictor:       s.Predictor,
+	}
+}
+
+// NewManager builds a fresh ACM deployment from the scenario and the policy.
+// The policy is cloned first, so callers may reuse one NamedPolicy across
+// concurrent runs even for stateful policies such as Policy 3.
+func NewManager(sc Scenario, np NamedPolicy) (*acm.Manager, error) {
+	sc = sc.withDefaults()
+	mgr, err := acm.NewManager(sc.ManagerConfig(core.ClonePolicy(np.Policy)))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario %s policy %s: %w", sc.Name, np.Key, err)
+	}
+	return mgr, nil
 }
 
 // RegionNames returns the region names of the scenario in order.

@@ -17,11 +17,8 @@ func NewRNG(seed uint64) *RNG {
 	// splitmix64 to fill the state; guarantees a non-zero state.
 	x := seed
 	for i := range r.s {
+		r.s[i] = mix64(x)
 		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
 	}
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
@@ -33,6 +30,38 @@ func NewRNG(seed uint64) *RNG {
 // sequence does not overlap the parent's for any practical horizon.
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+// mix64 is the splitmix64 finaliser, the same mixing function NewRNG uses to
+// expand a seed into the xoshiro state.  It is a bijection on uint64, so
+// distinct inputs always yield distinct outputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed splits a base seed into the seed of an independent stream
+// identified by the given indices (job index, replication index, ...).  The
+// derivation is a pure function of (base, indices): it does not depend on any
+// generator state, call order, or goroutine scheduling, which is what makes
+// parallel experiment sweeps bit-identical regardless of worker count or
+// completion order.  Each index is folded in through the splitmix64 finaliser
+// so that DeriveSeed(s, a, b) ≠ DeriveSeed(s, b, a) and neighbouring indices
+// land on uncorrelated streams.
+func DeriveSeed(base uint64, indices ...uint64) uint64 {
+	s := mix64(base ^ 0x5851f42d4c957f2d)
+	for _, idx := range indices {
+		s = mix64(s ^ mix64(idx+0x9e3779b97f4a7c15))
+	}
+	return s
+}
+
+// NewStreamRNG returns a generator on the independent stream derived from the
+// base seed and the stream indices via DeriveSeed.
+func NewStreamRNG(base uint64, indices ...uint64) *RNG {
+	return NewRNG(DeriveSeed(base, indices...))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
