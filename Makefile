@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test test-repeat race bench bench-smoke
 
-check: fmt vet build race bench-smoke
+check: fmt vet build race test-repeat bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -23,6 +23,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-repeat:
+	$(GO) test -short -count=2 ./internal/cloudsim/... ./internal/experiment/...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,80 @@
+// Sharded region engine benchmarks: one 5x10^3-VM region driven through its
+// load balancer and controller at 1, 4 and 16 engine shards.  The per-request
+// dispatch scan is O(pool/shards), so on any machine — single-core included —
+// the 16-shard configuration sustains a multiple of the single-shard
+// throughput; the ns/op ratio of BenchmarkRegionSharded_1 to
+// BenchmarkRegionSharded_16 quantifies the win.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/pcam"
+	"repro/internal/simclock"
+)
+
+const (
+	benchShardedActive  = 4000
+	benchShardedStandby = 1000
+	// benchShardedRequests arrive uniformly over one simulated minute —
+	// roughly the rate a 2.5x10^4-client population would generate.
+	benchShardedRequests = 20000
+)
+
+// runShardedRegionBench simulates one minute of heavy traffic against a
+// 5x10^3-VM region split across the given number of shards.
+func runShardedRegionBench(b *testing.B, shards int) {
+	b.Helper()
+	cfg := cloudsim.RegionConfig{
+		Name:           "megaregion",
+		Provider:       "aws",
+		Location:       "bench",
+		Type:           cloudsim.M3Medium,
+		InitialActive:  benchShardedActive,
+		InitialStandby: benchShardedStandby,
+		MaxVMs:         benchShardedActive + benchShardedStandby,
+		Shards:         shards,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := simclock.NewEngine(42)
+		region := cloudsim.NewRegion(cfg, simclock.NewRNG(42))
+		vmc, err := pcam.NewVMC(region, pcam.OraclePredictor{}, pcam.Config{ElasticityEnabled: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vmc.Start(eng)
+		served := 0
+		for j := 0; j < benchShardedRequests; j++ {
+			at := simclock.Duration(float64(j) * 60.0 / benchShardedRequests)
+			id := uint64(j)
+			eng.ScheduleFunc(at, func(e *simclock.Engine) {
+				vmc.Submit(e, &cloudsim.Request{ID: id, ServiceFactor: 1, Arrival: e.Now(),
+					OnDone: func(o cloudsim.Outcome) {
+						if !o.Dropped {
+							served++
+						}
+					}})
+			})
+		}
+		b.StartTimer()
+		if err := eng.Run(5 * simclock.Minute); err != nil && err != simclock.ErrHorizonReached {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		vmc.Stop()
+		if served < benchShardedRequests*9/10 {
+			b.Fatalf("only %d of %d requests served", served, benchShardedRequests)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(shards), "shards")
+	b.ReportMetric(float64(benchShardedRequests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkRegionSharded_1(b *testing.B)  { runShardedRegionBench(b, 1) }
+func BenchmarkRegionSharded_4(b *testing.B)  { runShardedRegionBench(b, 4) }
+func BenchmarkRegionSharded_16(b *testing.B) { runShardedRegionBench(b, 16) }

@@ -40,6 +40,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
 		beta      = flag.Float64("beta", 0.5, "RMTTF smoothing factor of equation (1)")
 		interval  = flag.Float64("interval", 60, "control loop interval in seconds")
+		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
@@ -51,7 +52,7 @@ func main() {
 
 	if *list {
 		for _, name := range experiment.ScenarioNames() {
-			fmt.Printf("%-14s %s\n", name, experiment.ScenarioDescription(name))
+			fmt.Printf("%-19s %s\n", name, experiment.ScenarioDescription(name))
 		}
 		return
 	}
@@ -61,13 +62,13 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -162,6 +163,19 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 			ControlInterval: simclock.Duration(intervalS),
 			Beta:            beta,
 			Predictor:       mode,
+		}
+	}
+	// -shards overrides every region's engine-shard count regardless of how
+	// the scenario was assembled (flags, registry or JSON file); 0 keeps each
+	// scenario's own setting, matching the flag's documented default.
+	if explicit["shards"] {
+		if shards < 0 {
+			return fmt.Errorf("-shards must be >= 0, got %d", shards)
+		}
+		if shards > 0 {
+			for i := range scenario.Regions {
+				scenario.Regions[i].Region.Shards = shards
+			}
 		}
 	}
 	if dumpPath != "" {
@@ -263,5 +277,13 @@ func printReport(mgr *acm.Manager) {
 	for name, s := range mgr.VMCStats() {
 		fmt.Printf("   %s: proactive=%d reactive=%d activations=%d provisioned=%d\n",
 			name, s.ProactiveRejuvenations, s.ReactiveRecoveries, s.Activations, s.ProvisionedVMs)
+	}
+	if shardStats := mgr.ShardStats(); len(shardStats) > 0 {
+		fmt.Println("per-shard state (sharded regions):")
+		for _, name := range mgr.RegionNames() {
+			for _, s := range shardStats[name] {
+				fmt.Println("  ", s)
+			}
+		}
 	}
 }

@@ -619,6 +619,20 @@ func (m *Manager) RegionStats() []cloudsim.Stats {
 	return out
 }
 
+// ShardStats returns the per-shard statistics of every sharded region
+// (regions running a single shard are omitted), keyed by region name and
+// ordered by shard index.  The entries carry "<region>/shard<i>" labels, so
+// reports can show how evenly the engine shards share the pool.
+func (m *Manager) ShardStats() map[string][]cloudsim.Stats {
+	out := map[string][]cloudsim.Stats{}
+	for _, r := range m.regions {
+		if r.NumShards() > 1 {
+			out[r.Name()] = r.ShardStats()
+		}
+	}
+	return out
+}
+
 // VMCStats returns the per-region controller statistics keyed by region name.
 func (m *Manager) VMCStats() map[string]pcam.Stats {
 	out := map[string]pcam.Stats{}

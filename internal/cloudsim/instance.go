@@ -124,6 +124,15 @@ type AnomalyProfile struct {
 	ThreadStackMB float64
 }
 
+// IsZero reports whether the profile is entirely unset, in which case
+// RegionConfig.withDefaults substitutes the paper's defaults.  It compares
+// field by field instead of using == so the struct stays free to grow
+// non-comparable fields (e.g. a per-class probability slice) later.
+func (a AnomalyProfile) IsZero() bool {
+	return a.LeakProbability == 0 && a.LeakSizeMB == 0 &&
+		a.ThreadProbability == 0 && a.ThreadStackMB == 0
+}
+
 // DefaultAnomalyProfile reproduces the injection probabilities from Section
 // VI-A of the paper.
 func DefaultAnomalyProfile() AnomalyProfile {
@@ -153,6 +162,12 @@ type FailurePoint struct {
 	ResponseTimeSLAMs float64
 }
 
+// IsZero reports whether the failure point is entirely unset (see
+// AnomalyProfile.IsZero for why this is a method rather than a == check).
+func (f FailurePoint) IsZero() bool {
+	return f.MemoryFraction == 0 && f.ThreadFraction == 0 && f.ResponseTimeSLAMs == 0
+}
+
 // DefaultFailurePoint matches the evaluation setup: the server process can
 // absorb leaks up to 70% of the instance memory (the rest is needed by the OS,
 // MySQL buffer pool and the servlet container), 80% of the thread budget, and
@@ -177,6 +192,12 @@ type RejuvenationModel struct {
 	// ActivateDuration is the time for a STANDBY VM to become ACTIVE (warm-up
 	// of caches, registration with the local load balancer).
 	ActivateDuration simclock.Duration
+}
+
+// IsZero reports whether the model is entirely unset (see
+// AnomalyProfile.IsZero for why this is a method rather than a == check).
+func (m RejuvenationModel) IsZero() bool {
+	return m.RejuvenateDuration == 0 && m.ActivateDuration == 0
 }
 
 // DefaultRejuvenationModel reflects the order of magnitude observed for

@@ -30,6 +30,12 @@ type RegionConfig struct {
 	// this region; ADDVMS requests beyond the cap are rejected.  Zero means
 	// "twice the initial pool".
 	MaxVMs int
+	// Shards splits the region's VM pool across this many engine shards, each
+	// owning a disjoint VM subset with its own derived RNG stream.  Sharding
+	// keeps the per-request and per-scan cost at O(pool/Shards) so a single
+	// region can grow past ~10^3 VMs.  Zero or one keeps today's single-pool
+	// behaviour (byte-identical event streams).
+	Shards int
 	// Anomalies, Failure and Rejuvenation apply to every VM in the region.
 	Anomalies    AnomalyProfile
 	Failure      FailurePoint
@@ -38,39 +44,60 @@ type RegionConfig struct {
 
 // withDefaults fills zero-valued fields with the paper's defaults.
 func (c RegionConfig) withDefaults() RegionConfig {
-	if c.Anomalies == (AnomalyProfile{}) {
+	if c.Anomalies.IsZero() {
 		c.Anomalies = DefaultAnomalyProfile()
 	}
-	if c.Failure == (FailurePoint{}) {
+	if c.Failure.IsZero() {
 		c.Failure = DefaultFailurePoint()
 	}
-	if c.Rejuvenation == (RejuvenationModel{}) {
+	if c.Rejuvenation.IsZero() {
 		c.Rejuvenation = DefaultRejuvenationModel()
 	}
 	if c.MaxVMs <= 0 {
 		c.MaxVMs = 2 * (c.InitialActive + c.InitialStandby)
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
 // Region is a pool of VMs managed as a unit by one Virtual Machine
-// Controller.
+// Controller.  Internally the pool is split across one or more shards (see
+// shard.go); the facade presented here merges the per-shard views so callers
+// keep seeing a single logical region.
 type Region struct {
-	cfg  RegionConfig
-	rng  *simclock.RNG
-	vms  []*VM
-	next int // counter for provisioned VM IDs
+	cfg    RegionConfig
+	shards []*shard
+	vms    []*VM          // every VM, in provisioning order (facade views)
+	byID   map[string]*VM // O(1) lookup, required at 10^3+ VM pools
+	next   int            // counter for provisioned VM IDs
 }
 
 // NewRegion builds the region's initial VM pool.  Active VMs are activated
 // immediately (activation latency is irrelevant before the simulation
 // starts).
+//
+// With Shards <= 1 the provided rng drives every VM fork directly, exactly as
+// the unsharded engine did.  With Shards > 1 a base seed is drawn from rng
+// once and each shard receives an independent stream derived via
+// simclock.DeriveSeed(base, shardIndex), so shard streams do not depend on
+// each other's consumption.
 func NewRegion(cfg RegionConfig, rng *simclock.RNG) *Region {
 	cfg = cfg.withDefaults()
 	if rng == nil {
 		rng = simclock.NewRNG(7)
 	}
-	r := &Region{cfg: cfg, rng: rng}
+	r := &Region{cfg: cfg, byID: map[string]*VM{}}
+	r.shards = make([]*shard, cfg.Shards)
+	if cfg.Shards == 1 {
+		r.shards[0] = &shard{index: 0, rng: rng}
+	} else {
+		base := rng.Uint64()
+		for i := range r.shards {
+			r.shards[i] = &shard{index: i, rng: simclock.NewRNG(simclock.DeriveSeed(base, uint64(i)))}
+		}
+	}
 	for i := 0; i < cfg.InitialActive+cfg.InitialStandby; i++ {
 		vm := r.newVM()
 		if i < cfg.InitialActive {
@@ -80,8 +107,10 @@ func NewRegion(cfg RegionConfig, rng *simclock.RNG) *Region {
 	return r
 }
 
-// newVM provisions a VM object and appends it to the pool.
+// newVM provisions a VM object, assigns it round-robin to a shard and appends
+// it to the pool.
 func (r *Region) newVM() *VM {
+	sh := r.shards[r.next%len(r.shards)]
 	r.next++
 	id := fmt.Sprintf("%s-vm%02d", r.cfg.Name, r.next)
 	vm := NewVM(VMConfig{
@@ -90,8 +119,11 @@ func (r *Region) newVM() *VM {
 		Anomalies:    r.cfg.Anomalies,
 		Failure:      r.cfg.Failure,
 		Rejuvenation: r.cfg.Rejuvenation,
-	}, r.rng.Fork())
+	}, sh.rng.Fork())
+	vm.shardIndex = sh.index
+	sh.vms = append(sh.vms, vm)
 	r.vms = append(r.vms, vm)
+	r.byID[id] = vm
 	return vm
 }
 
@@ -105,14 +137,7 @@ func (r *Region) Config() RegionConfig { return r.cfg }
 func (r *Region) VMs() []*VM { return r.vms }
 
 // VM returns the VM with the given ID, or nil.
-func (r *Region) VM(id string) *VM {
-	for _, vm := range r.vms {
-		if vm.ID() == id {
-			return vm
-		}
-	}
-	return nil
-}
+func (r *Region) VM(id string) *VM { return r.byID[id] }
 
 // byState returns the VMs currently in the given state.
 func (r *Region) byState(s VMState) []*VM {
@@ -161,12 +186,8 @@ func (r *Region) CanProvision() bool { return len(r.vms) < r.cfg.MaxVMs }
 // the quantity Policy 2 implicitly estimates through Q_i = RMTTF_i * f_i * λ.
 func (r *Region) ComputeCapacity() float64 {
 	total := 0.0
-	for _, vm := range r.ActiveVMs() {
-		base := vm.Type().BaseServiceMs / 1000
-		if base <= 0 {
-			continue
-		}
-		total += float64(vm.Type().VCPUs) / (base * vm.DegradationFactor())
+	for _, sh := range r.shards {
+		total += sh.computeCapacity()
 	}
 	return total
 }
@@ -177,16 +198,20 @@ func (r *Region) ComputeCapacity() float64 {
 // quantity from features; tests use the ground truth to validate those
 // estimates.
 func (r *Region) TrueRMTTF(regionRatePerSec float64) float64 {
-	active := r.ActiveVMs()
-	if len(active) == 0 {
+	activeTotal := 0
+	for _, sh := range r.shards {
+		activeTotal += sh.countState(StateActive)
+	}
+	if activeTotal == 0 {
 		return 0
 	}
-	perVM := regionRatePerSec / float64(len(active))
+	perVM := regionRatePerSec / float64(activeTotal)
 	sum := 0.0
-	for _, vm := range active {
-		sum += vm.TrueRTTF(perVM)
+	for _, sh := range r.shards {
+		s, _ := sh.trueRTTFSum(perVM)
+		sum += s
 	}
-	return sum / float64(len(active))
+	return sum / float64(activeTotal)
 }
 
 // HourlyCost returns the total on-demand cost per hour of every provisioned
@@ -214,25 +239,21 @@ type Stats struct {
 	LeakedMB      float64
 }
 
-// Stats returns a snapshot of the region's aggregate counters.
+// Stats returns a snapshot of the region's aggregate counters, merged from
+// the per-shard aggregates.
 func (r *Region) Stats() Stats {
 	s := Stats{Region: r.cfg.Name, VMs: len(r.vms)}
-	for _, vm := range r.vms {
-		switch vm.State() {
-		case StateActive:
-			s.Active++
-		case StateStandby:
-			s.Standby++
-		case StateFailed:
-			s.Failed++
-		case StateRejuvenating:
-			s.Rejuvenating++
-		}
-		s.Served += vm.Served()
-		s.Dropped += vm.DroppedRequests()
-		s.Crashes += vm.Crashes()
-		s.Rejuvenations += vm.Rejuvenations()
-		s.LeakedMB += vm.LeakedMB()
+	for _, sh := range r.shards {
+		ss := sh.stats(r.cfg.Name)
+		s.Active += ss.Active
+		s.Standby += ss.Standby
+		s.Failed += ss.Failed
+		s.Rejuvenating += ss.Rejuvenating
+		s.Served += ss.Served
+		s.Dropped += ss.Dropped
+		s.Crashes += ss.Crashes
+		s.Rejuvenations += ss.Rejuvenations
+		s.LeakedMB += ss.LeakedMB
 	}
 	return s
 }

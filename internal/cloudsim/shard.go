@@ -1,0 +1,168 @@
+package cloudsim
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// A shard owns a disjoint subset of a region's VM pool together with its own
+// derived RNG stream.  Sharding is what lets one region scale past ~10^3 VMs:
+// the per-request work of the region's load balancer and the periodic
+// controller scans operate on one shard (O(pool/N)) instead of the whole pool
+// (O(pool)), and the region facade merges the per-shard aggregates so the
+// layers above (pcam, acm, core) keep seeing a single logical region.
+//
+// VMs are assigned to shards round-robin at provisioning time, so shard
+// populations stay balanced as the region grows through ADDVMS.  Each shard's
+// RNG stream is derived via simclock.DeriveSeed(regionBase, shardIndex): the
+// streams are independent of each other and of the provisioning order of the
+// other shards, which keeps multi-shard runs deterministic.
+type shard struct {
+	index int
+	rng   *simclock.RNG
+	vms   []*VM // this shard's VMs, in provisioning order
+}
+
+// byState returns the shard's VMs currently in the given state, in
+// provisioning order.
+func (sh *shard) byState(s VMState) []*VM {
+	var out []*VM
+	for _, vm := range sh.vms {
+		if vm.State() == s {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// countState returns how many of the shard's VMs are in the given state.
+func (sh *shard) countState(s VMState) int {
+	n := 0
+	for _, vm := range sh.vms {
+		if vm.State() == s {
+			n++
+		}
+	}
+	return n
+}
+
+// stats aggregates the shard's lifetime counters.
+func (sh *shard) stats(region string) Stats {
+	s := Stats{Region: fmt.Sprintf("%s/shard%d", region, sh.index), VMs: len(sh.vms)}
+	for _, vm := range sh.vms {
+		switch vm.State() {
+		case StateActive:
+			s.Active++
+		case StateStandby:
+			s.Standby++
+		case StateFailed:
+			s.Failed++
+		case StateRejuvenating:
+			s.Rejuvenating++
+		}
+		s.Served += vm.Served()
+		s.Dropped += vm.DroppedRequests()
+		s.Crashes += vm.Crashes()
+		s.Rejuvenations += vm.Rejuvenations()
+		s.LeakedMB += vm.LeakedMB()
+	}
+	return s
+}
+
+// computeCapacity returns the shard's share of the region's healthy-state
+// service capacity (requests per second over its ACTIVE VMs).
+func (sh *shard) computeCapacity() float64 {
+	total := 0.0
+	for _, vm := range sh.vms {
+		if vm.State() != StateActive {
+			continue
+		}
+		base := vm.Type().BaseServiceMs / 1000
+		if base <= 0 {
+			continue
+		}
+		total += float64(vm.Type().VCPUs) / (base * vm.DegradationFactor())
+	}
+	return total
+}
+
+// trueRTTFSum returns the sum of the ground-truth RTTFs of the shard's ACTIVE
+// VMs at the given per-VM request rate, plus the number of ACTIVE VMs.  The
+// facade divides the merged sum by the merged count to obtain the region
+// RMTTF.
+func (sh *shard) trueRTTFSum(perVMRate float64) (sum float64, active int) {
+	for _, vm := range sh.vms {
+		if vm.State() != StateActive {
+			continue
+		}
+		sum += vm.TrueRTTF(perVMRate)
+		active++
+	}
+	return sum, active
+}
+
+// NumShards returns the number of engine shards the region's VM pool is split
+// across (1 unless RegionConfig.Shards was set higher).
+func (r *Region) NumShards() int { return len(r.shards) }
+
+// ShardVMs returns the VMs owned by the given shard, in provisioning order.
+// It panics on an out-of-range shard index, mirroring slice indexing.
+func (r *Region) ShardVMs(i int) []*VM { return r.shards[i].vms }
+
+// ShardOf returns the index of the shard owning the given VM (VMs are
+// assigned round-robin at provisioning time and never migrate).
+func (r *Region) ShardOf(vm *VM) int { return vm.shardIndex }
+
+// ActiveVMsInShard returns the ACTIVE VMs of one shard, in provisioning
+// order.  This is the O(pool/N) scan the region's load balancer uses in place
+// of the whole-pool ActiveVMs scan.
+func (r *Region) ActiveVMsInShard(i int) []*VM { return r.shards[i].byState(StateActive) }
+
+// StandbyVMsInShard returns the healthy spare VMs of one shard.
+func (r *Region) StandbyVMsInShard(i int) []*VM { return r.shards[i].byState(StateStandby) }
+
+// ActiveCount returns the number of ACTIVE VMs region-wide without
+// materialising a slice — the allocation-free facade equivalent of
+// len(ActiveVMs()), which at 10^3+ VM pools matters on the controller's
+// per-tick paths.
+func (r *Region) ActiveCount() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.countState(StateActive)
+	}
+	return n
+}
+
+// ActiveCountInShard returns the number of ACTIVE VMs in one shard.
+func (r *Region) ActiveCountInShard(i int) int { return r.shards[i].countState(StateActive) }
+
+// StandbyPromotionCandidate returns one shard's first STANDBY VM in
+// provisioning order (nil if it has none) together with the shard's ACTIVE
+// count, in a single allocation-free pass — the two facts standby promotion
+// needs per shard.
+func (r *Region) StandbyPromotionCandidate(i int) (*VM, int) {
+	var first *VM
+	active := 0
+	for _, vm := range r.shards[i].vms {
+		switch vm.State() {
+		case StateStandby:
+			if first == nil {
+				first = vm
+			}
+		case StateActive:
+			active++
+		}
+	}
+	return first, active
+}
+
+// ShardStats returns one aggregate snapshot per shard, labelled
+// "<region>/shard<i>".  Region.Stats merges these into the region aggregate.
+func (r *Region) ShardStats() []Stats {
+	out := make([]Stats, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.stats(r.cfg.Name)
+	}
+	return out
+}

@@ -65,6 +65,10 @@ type VM struct {
 	cfg VMConfig
 	rng *simclock.RNG
 
+	// shardIndex is the region shard this VM is owned by (0 in an unsharded
+	// region); assigned at provisioning time, VMs never migrate.
+	shardIndex int
+
 	state       VMState
 	activatedAt simclock.Time // time the VM last became ACTIVE
 	bootedAt    simclock.Time // time the VM last finished rejuvenation (uptime epoch)
@@ -122,6 +126,10 @@ func (vm *VM) Config() VMConfig { return vm.cfg }
 
 // State returns the current lifecycle state.
 func (vm *VM) State() VMState { return vm.state }
+
+// ShardIndex returns the index of the region shard owning this VM (0 in an
+// unsharded region).
+func (vm *VM) ShardIndex() int { return vm.shardIndex }
 
 // LeakedMB returns the memory currently pinned by leaks and zombie-thread
 // stacks.

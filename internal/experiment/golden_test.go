@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// The golden regression suite byte-pins the summary metrics of the paper's
+// figure scenarios under every policy.  It exists so that refactors of the
+// simulation core (such as the sharded region engine) can prove they change
+// nothing at the default configuration: the goldens were recorded before the
+// refactor, and any behavioural drift — down to a single RNG draw — shows up
+// as a byte difference in the summary or in the hash of the raw series.
+//
+// Regenerate with:
+//
+//	go test ./internal/experiment -run TestGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenHorizon keeps the pinned runs short enough for CI while still passing
+// through ramp-up, several control eras, rejuvenations and steady state.
+const goldenHorizon = 30 * simclock.Minute
+
+// goldenSummary is the byte-pinned view of a Result.  Floats are formatted
+// with strconv 'g' / full precision instead of being stored as JSON numbers:
+// the encoding is exact (round-trips the bit pattern), stable across Go
+// versions, and representable for ±Inf (ConvergenceTime is +Inf when a policy
+// never converges).
+type goldenSummary struct {
+	Scenario  string `json:"scenario"`
+	PolicyKey string `json:"policy"`
+	Seed      uint64 `json:"seed"`
+
+	Eras                     uint64   `json:"eras"`
+	Converged                bool     `json:"converged"`
+	RelativeSpread           string   `json:"relativeSpread"`
+	ConvergenceTime          string   `json:"convergenceTime"`
+	FractionOscillation      string   `json:"fractionOscillation"`
+	FractionDirectionChanges string   `json:"fractionDirectionChanges"`
+	MeanResponseTime         string   `json:"meanResponseTime"`
+	TailResponseTime         string   `json:"tailResponseTime"`
+	SLAViolationRatio        string   `json:"slaViolationRatio"`
+	SuccessRatio             string   `json:"successRatio"`
+	ForwardedFraction        string   `json:"forwardedFraction"`
+	ProactiveRejuvenations   uint64   `json:"proactiveRejuvenations"`
+	ReactiveRecoveries       uint64   `json:"reactiveRecoveries"`
+	Crashes                  uint64   `json:"crashes"`
+	FinalFractions           []string `json:"finalFractions"`
+
+	// SeriesSHA256 hashes every recorded raw series (the full CSV dump), so
+	// the golden pins not just the summary but the entire observable run.
+	SeriesSHA256 string `json:"seriesSHA256"`
+}
+
+// gf formats a float64 exactly (shortest representation that round-trips).
+func gf(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func goldenFromResult(r *Result) (goldenSummary, error) {
+	var csv bytes.Buffer
+	if err := r.Recorder.WriteAllCSV(&csv); err != nil {
+		return goldenSummary{}, fmt.Errorf("serialising recorder: %w", err)
+	}
+	sum := sha256.Sum256(csv.Bytes())
+	g := goldenSummary{
+		Scenario:                 r.Scenario.Name,
+		PolicyKey:                r.PolicyKey,
+		Seed:                     r.Scenario.Seed,
+		Eras:                     r.Eras,
+		Converged:                r.RMTTFConvergence.Converged,
+		RelativeSpread:           gf(r.RMTTFConvergence.RelativeSpread),
+		ConvergenceTime:          gf(r.RMTTFConvergence.ConvergenceTime),
+		FractionOscillation:      gf(r.FractionOscillation),
+		FractionDirectionChanges: gf(r.FractionDirectionChanges),
+		MeanResponseTime:         gf(r.MeanResponseTime),
+		TailResponseTime:         gf(r.TailResponseTime),
+		SLAViolationRatio:        gf(r.SLAViolationRatio),
+		SuccessRatio:             gf(r.SuccessRatio),
+		ForwardedFraction:        gf(r.ForwardedFraction),
+		ProactiveRejuvenations:   r.ProactiveRejuvenations,
+		ReactiveRecoveries:       r.ReactiveRecoveries,
+		Crashes:                  r.Crashes,
+		SeriesSHA256:             hex.EncodeToString(sum[:]),
+	}
+	for _, f := range r.FinalFractions {
+		g.FinalFractions = append(g.FinalFractions, gf(f))
+	}
+	return g, nil
+}
+
+// TestGoldenFigureScenarios runs figure3 and figure4 under each of the
+// paper's three policies and compares the byte-pinned summary against
+// testdata/golden.  The scenarios run at their default configuration —
+// in particular Shards=1 — so the sharded region engine is provably a no-op
+// there.
+func TestGoldenFigureScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six 30-minute simulations")
+	}
+	for _, name := range []string{"figure3", "figure4"} {
+		for _, np := range Policies() {
+			np := np
+			t.Run(name+"/"+np.Key, func(t *testing.T) {
+				sc, err := BuildScenario(name, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Horizon = goldenHorizon
+				res, err := Run(sc, np)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := goldenFromResult(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.MarshalIndent(g, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-%s.json", name, np.Key))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("wrote %s", path)
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to record): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("summary drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -186,6 +186,7 @@ type VMC struct {
 	cfg       Config
 
 	rr           int // round-robin cursor of the local load balancer
+	shardRR      int // rotation cursor over the region's shards
 	rmttf        *stats.EWMA
 	lastRMTTF    float64 // last raw (un-smoothed) RMTTF computed from predictions
 	predicted    map[string]float64
@@ -207,7 +208,7 @@ func NewVMC(region *cloudsim.Region, predictor RTTFPredictor, cfg Config) (*VMC,
 	cfg = cfg.withDefaults()
 	target := cfg.TargetActive
 	if target <= 0 {
-		target = len(region.ActiveVMs())
+		target = region.ActiveCount()
 	}
 	if target < cfg.MinActive {
 		target = cfg.MinActive
@@ -270,12 +271,23 @@ func (v *VMC) hookVM(eng *simclock.Engine, vm *cloudsim.VM) {
 	}
 }
 
-// Submit implements the region's load balancer: the request is dispatched to
-// the ACTIVE VM with the shortest queue (ties broken round-robin), which both
-// spreads load and avoids pushing work onto a VM that is already struggling.
-// When no ACTIVE VM exists the request is dropped.
+// Submit implements the region's load balancer: a shard is selected by
+// rotating over the region's shards (which spreads arrivals evenly and keeps
+// the scan at O(pool/shards)), and within the shard the request is dispatched
+// to the ACTIVE VM with the shortest queue (ties broken round-robin), which
+// both spreads load and avoids pushing work onto a VM that is already
+// struggling.  Shards with no ACTIVE VM (e.g. mid-rejuvenation) are skipped;
+// when no shard has one the request is dropped.  With one shard this is
+// exactly the classic whole-pool shortest-queue balancer.
 func (v *VMC) Submit(eng *simclock.Engine, req *cloudsim.Request) {
-	active := v.region.ActiveVMs()
+	var active []*cloudsim.VM
+	for tries, n := 0, v.region.NumShards(); tries < n; tries++ {
+		v.shardRR++
+		if a := v.region.ActiveVMsInShard(v.shardRR % n); len(a) > 0 {
+			active = a
+			break
+		}
+	}
 	if len(active) == 0 {
 		if req.OnDone != nil {
 			req.OnDone(cloudsim.Outcome{Request: req, Region: v.region.Name(), Start: eng.Now(), End: eng.Now(), Dropped: true})
@@ -292,66 +304,85 @@ func (v *VMC) Submit(eng *simclock.Engine, req *cloudsim.Request) {
 	best.Dispatch(eng, req)
 }
 
-// ControlTick runs one local monitor/analyze/execute iteration: it samples
-// every ACTIVE VM, predicts its RTTF, proactively rejuvenates the VMs whose
-// predicted RTTF fell below the threshold, refreshes the region RMTTF, and
-// applies the elasticity actions.
+// vmPrediction couples one ACTIVE VM with its freshly predicted RTTF and the
+// response time observed over the last interval.
+type vmPrediction struct {
+	vm   *cloudsim.VM
+	rttf float64
+	resp float64
+}
+
+// ControlTick runs one local monitor/analyze/execute iteration: shard by
+// shard it samples every ACTIVE VM, predicts its RTTF and proactively
+// rejuvenates the VMs whose predicted RTTF fell below the threshold; the
+// per-shard partial sums are merged into the region RMTTF at the end, and the
+// elasticity actions apply region-wide.  With one shard the iteration is
+// exactly the classic whole-pool scan; with N shards each scan and each
+// worst-first sort touches only pool/N VMs.
 func (v *VMC) ControlTick(eng *simclock.Engine) {
 	v.stats.ControlTicks++
 	// Keep the active pool at its target size: failures and rejuvenations
 	// shrink it, and rejuvenated VMs come back as STANDBY.
-	for len(v.region.ActiveVMs()) < v.targetActive {
+	for v.region.ActiveCount() < v.targetActive {
 		if !v.activateStandby(eng) {
 			break
 		}
 	}
-	active := v.region.ActiveVMs()
-	if len(active) == 0 {
-		return
-	}
 
-	// Monitor + analyze: predict the RTTF of each active VM.
-	type vmPrediction struct {
-		vm   *cloudsim.VM
-		rttf float64
-		resp float64
-	}
-	preds := make([]vmPrediction, 0, len(active))
+	// Monitor + analyze: predict the RTTF of each active VM, one shard at a
+	// time, accumulating the region aggregates from the per-shard partials.
+	numShards := v.region.NumShards()
+	shardPreds := make([][]vmPrediction, 0, numShards)
 	sum := 0.0
 	reportable := 0
 	respSum := 0.0
 	respSamples := 0
-	for _, vm := range active {
-		sample := vm.Sample(eng.Now())
-		rttf := v.predictor.PredictRTTF(vm, sample)
-		v.predicted[vm.ID()] = rttf
-		resp := sample.Get(features.ResponseTimeMs) / 1000
-		preds = append(preds, vmPrediction{vm: vm, rttf: rttf, resp: resp})
-		if sample.Get(features.RequestRate) <= 0 {
-			// A VM that served nothing in the interval (typically one that was
-			// activated moments ago) carries no information about the region's
-			// health; folding its "no data" prediction into the RMTTF would
-			// inflate the estimate exactly when the region is churning.
+	sampled := 0
+	for s := 0; s < numShards; s++ {
+		active := v.region.ActiveVMsInShard(s)
+		if len(active) == 0 {
 			continue
 		}
-		// The failure point of F2PM is not only a crash: a sustained SLA
-		// violation counts as a failure too.  A VM whose observed response
-		// time already exceeds the SLA is therefore on its way to the failure
-		// point no matter how much anomaly budget is left, so the RMTTF
-		// reported to the leader reflects that (the policies then move load
-		// away from the overloaded region).  The per-VM rejuvenation decision
-		// below keeps using the anomaly-based prediction: rejuvenating a
-		// fresh-but-overloaded VM would not help.
-		reported := rttf
-		if v.cfg.ResponseTimeThreshold > 0 && resp > v.cfg.ResponseTimeThreshold {
-			if slaRTTF := v.cfg.RTTFThreshold * v.cfg.ResponseTimeThreshold / resp; slaRTTF < reported {
-				reported = slaRTTF
+		sampled += len(active)
+		preds := make([]vmPrediction, 0, len(active))
+		for _, vm := range active {
+			sample := vm.Sample(eng.Now())
+			rttf := v.predictor.PredictRTTF(vm, sample)
+			v.predicted[vm.ID()] = rttf
+			resp := sample.Get(features.ResponseTimeMs) / 1000
+			preds = append(preds, vmPrediction{vm: vm, rttf: rttf, resp: resp})
+			if sample.Get(features.RequestRate) <= 0 {
+				// A VM that served nothing in the interval (typically one that
+				// was activated moments ago) carries no information about the
+				// region's health; folding its "no data" prediction into the
+				// RMTTF would inflate the estimate exactly when the region is
+				// churning.
+				continue
 			}
+			// The failure point of F2PM is not only a crash: a sustained SLA
+			// violation counts as a failure too.  A VM whose observed response
+			// time already exceeds the SLA is therefore on its way to the
+			// failure point no matter how much anomaly budget is left, so the
+			// RMTTF reported to the leader reflects that (the policies then
+			// move load away from the overloaded region).  The per-VM
+			// rejuvenation decision below keeps using the anomaly-based
+			// prediction: rejuvenating a fresh-but-overloaded VM would not
+			// help.
+			reported := rttf
+			if v.cfg.ResponseTimeThreshold > 0 && resp > v.cfg.ResponseTimeThreshold {
+				if slaRTTF := v.cfg.RTTFThreshold * v.cfg.ResponseTimeThreshold / resp; slaRTTF < reported {
+					reported = slaRTTF
+				}
+			}
+			sum += reported
+			reportable++
+			respSum += resp
+			respSamples++
 		}
-		sum += reported
-		reportable++
-		respSum += resp
-		respSamples++
+		shardPreds = append(shardPreds, preds)
+	}
+	if sampled == 0 {
+		return
 	}
 	if reportable > 0 {
 		v.lastRMTTF = sum / float64(reportable)
@@ -362,21 +393,24 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 		meanResp = respSum / float64(respSamples)
 	}
 
-	// Execute: proactive rejuvenation of about-to-fail VMs (worst first, and
-	// never below MinActive active VMs unless a standby can take over).
-	sort.Slice(preds, func(i, j int) bool { return preds[i].rttf < preds[j].rttf })
-	for _, p := range preds {
-		if p.rttf >= v.cfg.RTTFThreshold {
-			break
-		}
-		replaced := v.activateStandby(eng)
-		if !replaced && len(v.region.ActiveVMs()) <= v.cfg.MinActive {
-			// No spare capacity: keep the VM alive rather than dropping below
-			// the minimum; the next tick will retry.
-			continue
-		}
-		if p.vm.Rejuvenate(eng) {
-			v.stats.ProactiveRejuvenations++
+	// Execute: proactive rejuvenation of about-to-fail VMs (worst first
+	// within each shard, and never below MinActive active VMs region-wide
+	// unless a standby can take over).
+	for _, preds := range shardPreds {
+		sort.Slice(preds, func(i, j int) bool { return preds[i].rttf < preds[j].rttf })
+		for _, p := range preds {
+			if p.rttf >= v.cfg.RTTFThreshold {
+				break
+			}
+			replaced := v.activateStandby(eng)
+			if !replaced && v.region.ActiveCount() <= v.cfg.MinActive {
+				// No spare capacity: keep the VM alive rather than dropping
+				// below the minimum; the next tick will retry.
+				continue
+			}
+			if p.vm.Rejuvenate(eng) {
+				v.stats.ProactiveRejuvenations++
+			}
 		}
 	}
 
@@ -423,13 +457,28 @@ func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
 }
 
 // activateStandby promotes one STANDBY VM to ACTIVE, returning whether a VM
-// was promoted.
+// was promoted.  The standby is taken from the shard with the fewest ACTIVE
+// VMs (ties broken by shard index): Submit's rotation keeps sending every
+// shard ~1/N of the region's traffic, so replenishing the most depleted shard
+// first stops a rejuvenation wave from concentrating load on that shard's
+// survivors.  With one shard this is exactly the whole-pool promotion in
+// provisioning order.
 func (v *VMC) activateStandby(eng *simclock.Engine) bool {
-	standby := v.region.StandbyVMs()
-	if len(standby) == 0 {
+	var best *cloudsim.VM
+	bestActive := 0
+	for s, n := 0, v.region.NumShards(); s < n; s++ {
+		cand, active := v.region.StandbyPromotionCandidate(s)
+		if cand == nil {
+			continue
+		}
+		if best == nil || active < bestActive {
+			best, bestActive = cand, active
+		}
+	}
+	if best == nil {
 		return false
 	}
-	if standby[0].Activate(eng) {
+	if best.Activate(eng) {
 		v.stats.Activations++
 		return true
 	}
@@ -450,4 +499,4 @@ func (v *VMC) LastRawRMTTF() float64 { return v.lastRMTTF }
 func (v *VMC) PredictedRTTF(vmID string) float64 { return v.predicted[vmID] }
 
 // ActiveVMs returns the number of currently ACTIVE VMs in the region.
-func (v *VMC) ActiveVMs() int { return len(v.region.ActiveVMs()) }
+func (v *VMC) ActiveVMs() int { return v.region.ActiveCount() }
