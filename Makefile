@@ -1,22 +1,41 @@
 # Build, verify and benchmark the ACM reproduction.
 #
-#   make check       # everything CI runs: fmt, vet, build, race tests, bench smoke
+#   make check       # everything CI runs: fmt, vet, lint, build, race tests, bench gate
 #   make test        # plain test suite
 #   make race        # full suite under the race detector
 #   make bench       # the complete evaluation as benchmarks
 #   make bench-smoke # one cheap iteration of the Figure 3 benchmarks
+#   make bench-json  # record BENCH_ci.json and gate it against BENCH_baseline.json
+#   make lint        # golangci-lint (falls back to go vet when not installed)
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-repeat race bench bench-smoke
+# The benchmark set the regression gate records and compares.  bench-json,
+# bench-baseline and the CI bench-regression job (which runs `make
+# bench-json`) all share this one definition, so the gate, the baseline and
+# CI can never record different benchmark sets.
+BENCH_GATE = $(GO) test -bench='RegionSharded|Figure3' -benchtime=1x -benchmem -run='^$$' .
 
-check: fmt vet build race test-repeat bench-smoke
+.PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline
+
+check: fmt vet lint build race test-repeat bench-json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# The CI lint job runs golangci-lint (govet, staticcheck, errcheck,
+# ineffassign — see .golangci.yml); locally we degrade to go vet when the
+# binary is absent so `make check` works in a bare container.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; running go vet only"; \
+		$(GO) vet ./...; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -35,3 +54,18 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench=Figure3 -benchtime=1x -run='^$$' .
+
+# Record the CI benchmark set as JSON and fail when any benchmark's ns/op
+# regressed more than 20% against the committed baseline.  Refresh the
+# baseline deliberately with `make bench-baseline` when hardware changes or a
+# PR intentionally trades speed for capability.
+bench-json:
+	$(BENCH_GATE) > BENCH_raw.txt || (cat BENCH_raw.txt; exit 1)
+	cat BENCH_raw.txt
+	$(GO) run ./cmd/benchjson parse -in BENCH_raw.txt -out BENCH_ci.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_baseline.json -current BENCH_ci.json -max-regression 0.20
+
+bench-baseline:
+	$(BENCH_GATE) > BENCH_raw.txt || (cat BENCH_raw.txt; exit 1)
+	cat BENCH_raw.txt
+	$(GO) run ./cmd/benchjson parse -in BENCH_raw.txt -out BENCH_baseline.json

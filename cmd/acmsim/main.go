@@ -41,6 +41,7 @@ func main() {
 		beta      = flag.Float64("beta", 0.5, "RMTTF smoothing factor of equation (1)")
 		interval  = flag.Float64("interval", 60, "control loop interval in seconds")
 		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
+		tickWork  = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
@@ -62,13 +63,13 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -176,6 +177,18 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 			for i := range scenario.Regions {
 				scenario.Regions[i].Region.Shards = shards
 			}
+		}
+	}
+	// -tick-workers picks the control tick's goroutine fan-out the same way:
+	// 0 keeps the scenario's own setting, anything >= 1 overrides it (1 forces
+	// the sequential tick).  The output is byte-identical either way; the flag
+	// only trades wall-clock time for cores.
+	if explicit["tick-workers"] {
+		if tickWorkers < 0 {
+			return fmt.Errorf("-tick-workers must be >= 0, got %d", tickWorkers)
+		}
+		if tickWorkers > 0 {
+			scenario.VMC.TickWorkers = tickWorkers
 		}
 	}
 	if dumpPath != "" {

@@ -1,0 +1,250 @@
+// Command benchjson turns `go test -bench` text output into a small JSON
+// document (benchmark name -> ns/op, B/op, allocs/op and any custom metrics)
+// and gates CI on it: the compare mode fails when any benchmark's ns/op
+// regressed beyond a tolerance against a committed baseline.
+//
+// Usage:
+//
+//	go test -bench='RegionSharded|Figure3' -benchtime=1x -benchmem -run='^$' . | benchjson parse -out BENCH_ci.json
+//	benchjson compare -baseline BENCH_baseline.json -current BENCH_ci.json -max-regression 0.20
+//
+// GOMAXPROCS suffixes ("-4") are stripped from benchmark names so a baseline
+// recorded on one core count compares against runs on another.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's recorded values, keyed by benchmark unit
+// ("ns/op", "B/op", "allocs/op", "req/s", ...).
+type Metrics map[string]float64
+
+// File is the JSON document benchjson reads and writes.
+type File struct {
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// NsPerOp returns the benchmark's ns/op (0 when absent).
+func (m Metrics) NsPerOp() float64 { return m["ns/op"] }
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// gomaxprocsSuffix matches the "-N" tail testing appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` text output and collects the per-benchmark
+// metrics.  Lines that are not benchmark results (the "goos:" header, PASS,
+// custom test logging) are ignored.  A benchmark appearing twice (e.g. from
+// -count) keeps the last occurrence.
+func Parse(r io.Reader) (*File, error) {
+	out := &File{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: odd value/unit pairs in %q", sc.Text())
+		}
+		metrics := Metrics{}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q: %w", fields[i], sc.Text(), err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		if _, ok := metrics["ns/op"]; !ok {
+			return nil, fmt.Errorf("benchjson: benchmark %s has no ns/op in %q", name, sc.Text())
+		}
+		out.Benchmarks[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark results found in input")
+	}
+	return out, nil
+}
+
+// Load reads a benchjson JSON file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: %s holds no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// Write serialises the file as deterministic indented JSON (map keys sort).
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Regression is one benchmark whose ns/op moved beyond the tolerance.
+type Regression struct {
+	Name     string
+	Baseline float64 // baseline ns/op
+	Current  float64 // current ns/op
+	Delta    float64 // (current-baseline)/baseline
+}
+
+// Compare reports the benchmarks of current whose ns/op regressed more than
+// maxRegression (0.20 = 20% slower) relative to baseline, plus the baseline
+// benchmarks missing from current (gate erosion: a deleted benchmark must be
+// deleted from the baseline deliberately, not silently skipped).
+func Compare(baseline, current *File, maxRegression float64) (regressions []Regression, missing []string) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if base.NsPerOp() <= 0 {
+			continue
+		}
+		delta := (cur.NsPerOp() - base.NsPerOp()) / base.NsPerOp()
+		if delta > maxRegression {
+			regressions = append(regressions, Regression{Name: name, Baseline: base.NsPerOp(), Current: cur.NsPerOp(), Delta: delta})
+		}
+	}
+	return regressions, missing
+}
+
+// comparisonTable renders every shared benchmark's ns/op movement, so the CI
+// log shows the whole perf trajectory, not only the failures.
+func comparisonTable(w io.Writer, baseline, current *File) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		if _, ok := current.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-40s %15s %15s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		base, cur := baseline.Benchmarks[name].NsPerOp(), current.Benchmarks[name].NsPerOp()
+		delta := "n/a"
+		if base > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+		}
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8s\n", name, base, cur, delta)
+	}
+}
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "", "read `go test -bench` output from this file (default: stdin)")
+	out := fs.String("out", "", "write the JSON document to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return file.Write(w)
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	curPath := fs.String("current", "BENCH_ci.json", "freshly recorded JSON")
+	maxReg := fs.Float64("max-regression", 0.20, "maximum tolerated ns/op regression (0.20 = 20% slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := Load(*basePath)
+	if err != nil {
+		return err
+	}
+	current, err := Load(*curPath)
+	if err != nil {
+		return err
+	}
+	comparisonTable(os.Stdout, baseline, current)
+	regressions, missing := Compare(baseline, current, *maxReg)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline benchmark %s missing from current run\n", name)
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)\n",
+			r.Name, 100*r.Delta, r.Baseline, r.Current, 100**maxReg)
+	}
+	if len(regressions) > 0 || len(missing) > 0 {
+		return fmt.Errorf("%d regression(s), %d missing benchmark(s)", len(regressions), len(missing))
+	}
+	fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", len(baseline.Benchmarks), 100**maxReg)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson parse [-in bench.txt] [-out bench.json] | benchjson compare [-baseline a.json] [-current b.json] [-max-regression 0.20]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (use parse or compare)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

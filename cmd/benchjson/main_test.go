@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkRegionSharded_1-4         	       1	5701234567 ns/op	  123456 B/op	     789 allocs/op	         1.000 shards	      3508 req/s
+BenchmarkRegionSharded_16-4        	       2	 660123456 ns/op	   65432 B/op	     321 allocs/op	        16.00 shards	     30303 req/s
+BenchmarkFigure3_Policy2           	       1	3210987654 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	// The -4 GOMAXPROCS suffix must be stripped; the suffix-free name kept.
+	sharded, ok := f.Benchmarks["BenchmarkRegionSharded_1"]
+	if !ok {
+		t.Fatalf("missing suffix-stripped BenchmarkRegionSharded_1: %+v", f.Benchmarks)
+	}
+	if got := sharded.NsPerOp(); got != 5701234567 {
+		t.Fatalf("ns/op = %v, want 5701234567", got)
+	}
+	if got := sharded["B/op"]; got != 123456 {
+		t.Fatalf("B/op = %v, want 123456", got)
+	}
+	if got := sharded["allocs/op"]; got != 789 {
+		t.Fatalf("allocs/op = %v, want 789", got)
+	}
+	if got := sharded["req/s"]; got != 3508 {
+		t.Fatalf("req/s = %v, want 3508", got)
+	}
+	if got := f.Benchmarks["BenchmarkFigure3_Policy2"].NsPerOp(); got != 3210987654 {
+		t.Fatalf("plain-line ns/op = %v, want 3210987654", got)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1.0s\n")); err == nil {
+		t.Fatal("empty benchmark output must be an error, not an empty gate")
+	}
+}
+
+func TestWriteRoundTrips(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(f.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(f.Benchmarks))
+	}
+}
+
+func mkFile(ns map[string]float64) *File {
+	f := &File{Benchmarks: map[string]Metrics{}}
+	for name, v := range ns {
+		f.Benchmarks[name] = Metrics{"ns/op": v}
+	}
+	return f
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := mkFile(map[string]float64{"A": 1000, "B": 1000, "C": 1000})
+	current := mkFile(map[string]float64{"A": 1100, "B": 1300, "C": 900, "New": 5000})
+
+	regressions, missing := Compare(baseline, current, 0.20)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing: %v", missing)
+	}
+	if len(regressions) != 1 || regressions[0].Name != "B" {
+		t.Fatalf("want exactly B flagged (+30%% > 20%% tolerance), got %+v", regressions)
+	}
+	if d := regressions[0].Delta; d < 0.29 || d > 0.31 {
+		t.Fatalf("B delta = %v, want ~0.30", d)
+	}
+}
+
+func TestCompareReportsMissingBenchmarks(t *testing.T) {
+	baseline := mkFile(map[string]float64{"A": 1000, "Gone": 1000})
+	current := mkFile(map[string]float64{"A": 1000})
+	regressions, missing := Compare(baseline, current, 0.20)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regressions)
+	}
+	if len(missing) != 1 || missing[0] != "Gone" {
+		t.Fatalf("want [Gone] missing, got %v", missing)
+	}
+}

@@ -141,13 +141,20 @@ func (r *Region) VM(id string) *VM { return r.byID[id] }
 
 // byState returns the VMs currently in the given state.
 func (r *Region) byState(s VMState) []*VM {
-	var out []*VM
+	return r.AppendByState(nil, s)
+}
+
+// AppendByState appends the region's VMs currently in the given state to dst,
+// in provisioning order, and returns the extended slice.  It is the
+// allocation-free variant of ActiveVMs / StandbyVMs for callers that scan on
+// every control tick and want to reuse one buffer via dst[:0].
+func (r *Region) AppendByState(dst []*VM, s VMState) []*VM {
 	for _, vm := range r.vms {
 		if vm.State() == s {
-			out = append(out, vm)
+			dst = append(dst, vm)
 		}
 	}
-	return out
+	return dst
 }
 
 // ActiveVMs returns the VMs currently serving requests.

@@ -24,16 +24,32 @@ type shard struct {
 	vms   []*VM // this shard's VMs, in provisioning order
 }
 
+// Concurrency: a shard's accessors (byState, appendByState, countState,
+// stats, computeCapacity, trueRTTFSum) only read the states and counters of
+// the shard's own VMs.  During a control-tick parallel phase
+// (simclock.Engine.ParallelPhase) each shard is visited by exactly one
+// goroutine, no VM changes state (state transitions schedule events, which
+// the engine rejects during the phase), and VMs never migrate between
+// shards — so these accessors are safe to run concurrently as long as each
+// goroutine touches only its own shard.
+
 // byState returns the shard's VMs currently in the given state, in
 // provisioning order.
 func (sh *shard) byState(s VMState) []*VM {
-	var out []*VM
+	return sh.appendByState(nil, s)
+}
+
+// appendByState appends the shard's VMs currently in the given state to dst,
+// in provisioning order, and returns the extended slice.  Passing a reused
+// dst[:0] keeps repeated scans allocation-free, which is what the
+// controller's per-tick hot path relies on.
+func (sh *shard) appendByState(dst []*VM, s VMState) []*VM {
 	for _, vm := range sh.vms {
 		if vm.State() == s {
-			out = append(out, vm)
+			dst = append(dst, vm)
 		}
 	}
-	return out
+	return dst
 }
 
 // countState returns how many of the shard's VMs are in the given state.
@@ -118,6 +134,16 @@ func (r *Region) ShardOf(vm *VM) int { return vm.shardIndex }
 // order.  This is the O(pool/N) scan the region's load balancer uses in place
 // of the whole-pool ActiveVMs scan.
 func (r *Region) ActiveVMsInShard(i int) []*VM { return r.shards[i].byState(StateActive) }
+
+// AppendByStateInShard appends one shard's VMs currently in the given state
+// to dst, in provisioning order, and returns the extended slice.  It is the
+// allocation-free variant of ActiveVMsInShard / StandbyVMsInShard: callers on
+// per-tick or per-request hot paths pass a reused buffer's dst[:0].  Safe to
+// call concurrently for distinct shard indices (see the shard concurrency
+// note above).
+func (r *Region) AppendByStateInShard(dst []*VM, i int, s VMState) []*VM {
+	return r.shards[i].appendByState(dst, s)
+}
 
 // StandbyVMsInShard returns the healthy spare VMs of one shard.
 func (r *Region) StandbyVMsInShard(i int) []*VM { return r.shards[i].byState(StateStandby) }

@@ -4,8 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
+
+	"repro/internal/simclock"
 )
 
 // This file is the parallel experiment runner: a bounded worker pool that
@@ -46,65 +47,34 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) workers(n int) int {
-	w := o.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
 // ForEach runs fn(0..n-1) on a pool of bounded workers and blocks until every
 // started call returned.  A cancelled context stops new work from being
 // handed out (calls already in flight complete); ForEach then returns the
 // context's error.  Errors returned by fn are collected and joined, they do
 // not cancel the remaining work.
+//
+// The fan-out itself is simclock.ForEach — the same bounded worker pool the
+// engine's control-tick parallel phase uses — with the context and
+// error-collection semantics layered on top: every index is still claimed
+// exactly once, but an index claimed after cancellation returns without
+// calling fn.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
 
-	indices := make(chan int)
-	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			break feed
+	simclock.ForEach(n, workers, func(i int) {
+		if ctx.Err() != nil {
+			return
 		}
-	}
-	close(indices)
-	wg.Wait()
+		if err := fn(i); err != nil {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}
+	})
 
 	// A cancelled context does not swallow failures that happened before the
 	// cancellation: both are joined into the returned error.
@@ -134,7 +104,9 @@ func RunParallel(ctx context.Context, jobs []Job, opt Options) ([]JobResult, err
 	// slot), so ForEach only reports context cancellation.  Policy cloning is
 	// not needed here: Run builds the manager via NewManager, which clones the
 	// policy per simulation.
-	err := ForEach(ctx, len(jobs), opt.workers(len(jobs)), func(i int) error {
+	// Worker normalisation (non-positive selects GOMAXPROCS, the pool never
+	// exceeds the job count) happens inside the fan-out.
+	err := ForEach(ctx, len(jobs), opt.Workers, func(i int) error {
 		job := jobs[i]
 		res, runErr := Run(job.Scenario, job.Policy)
 		results[i] = JobResult{Job: job, Result: res, Err: runErr}

@@ -85,6 +85,7 @@ func init() {
 	RegisterScenario("elasticity", "under-provisioned region absorbing a 3x client surge via ADDVMS", ElasticityScenario)
 	RegisterScenario("megaregion", "one region with a 5x10^3-VM pool on a single engine shard (baseline)", MegaregionScenario)
 	RegisterScenario("megaregion-sharded", "the 5x10^3-VM region split across 16 engine shards", MegaregionShardedScenario)
+	RegisterScenario("megaregion-parallel", "the 16-shard megaregion with the control tick fanned out to one goroutine per shard", MegaregionParallelScenario)
 }
 
 // Matrix describes a sweep grid over registered scenarios, policies, smoothing

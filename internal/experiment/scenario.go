@@ -216,11 +216,12 @@ const (
 )
 
 // megaregionScenario builds one region with a 5x10^3-VM pool split across the
-// given number of engine shards.  The client population is sized to keep the
-// run affordable in tests while still pushing hundreds of requests per second
-// through the load balancer — the O(pool) per-request scan is precisely what
-// sharding removes.
-func megaregionScenario(name string, seed uint64, shards int) Scenario {
+// given number of engine shards, with the control tick fanned out to
+// tickWorkers goroutines (<= 1 keeps the sequential tick).  The client
+// population is sized to keep the run affordable in tests while still pushing
+// hundreds of requests per second through the load balancer — the O(pool)
+// per-request scan is precisely what sharding removes.
+func megaregionScenario(name string, seed uint64, shards, tickWorkers int) Scenario {
 	region := cloudsim.RegionConfig{
 		Name:           "megaregion",
 		Provider:       "aws",
@@ -244,6 +245,7 @@ func megaregionScenario(name string, seed uint64, shards int) Scenario {
 			// stays off so the scenario isolates the dispatch/scan path that
 			// sharding optimises.
 			ElasticityEnabled: false,
+			TickWorkers:       tickWorkers,
 		},
 	}.withDefaults()
 }
@@ -252,14 +254,25 @@ func megaregionScenario(name string, seed uint64, shards int) Scenario {
 // 5x10^3-VM pool managed as one engine shard, the configuration whose
 // whole-pool scans the sharded engine replaces.
 func MegaregionScenario(seed uint64) Scenario {
-	return megaregionScenario("megaregion", seed, 1)
+	return megaregionScenario("megaregion", seed, 1, 1)
 }
 
 // MegaregionShardedScenario is the same 5x10^3-VM region split across
 // MegaregionShards engine shards: per-request dispatch and the controller
-// scans touch pool/16 VMs instead of the whole pool.
+// scans touch pool/16 VMs instead of the whole pool.  The control tick still
+// walks the shards sequentially.
 func MegaregionShardedScenario(seed uint64) Scenario {
-	return megaregionScenario("megaregion-sharded", seed, MegaregionShards)
+	return megaregionScenario("megaregion-sharded", seed, MegaregionShards, 1)
+}
+
+// MegaregionParallelScenario is the 16-shard megaregion with the control
+// tick's per-shard phase fanned out to one goroutine per shard — the
+// wall-clock parallel configuration.  Its results are byte-identical to
+// megaregion-sharded's at every GOMAXPROCS: the parallel phase writes only
+// shard-local state and the merge phase folds the partials in shard-index
+// order.
+func MegaregionParallelScenario(seed uint64) Scenario {
+	return megaregionScenario("megaregion-parallel", seed, MegaregionShards, MegaregionShards)
 }
 
 // Policies returns the three policies of the paper keyed by the short names

@@ -28,6 +28,11 @@ import (
 // the oracle implementation uses the simulator's ground truth and exists to
 // quantify how much prediction error costs (an ablation the reproduction
 // adds).
+//
+// When the VMC runs its control tick with Config.TickWorkers > 1, PredictRTTF
+// is called concurrently from the per-shard goroutines and must therefore be
+// safe for concurrent use.  The bundled predictors qualify: OraclePredictor
+// is stateless and ModelPredictor only reads the trained model.
 type RTTFPredictor interface {
 	// PredictRTTF returns the estimated remaining time to failure in seconds.
 	PredictRTTF(vm *cloudsim.VM, sample features.Vector) float64
@@ -125,6 +130,14 @@ type Config struct {
 	// the leader with equation 1; smoothing locally as well keeps the local
 	// elasticity decisions from reacting to single-sample noise).
 	RMTTFBeta float64
+	// TickWorkers is the number of goroutines the control tick fans the
+	// per-shard monitor/analyze phase out to (feature sampling, RTTF
+	// prediction, rejuvenation candidate selection).  The phase is followed by
+	// a barrier and a serial merge that consumes per-shard results in
+	// shard-index order, so the output is byte-identical for every worker
+	// count.  Values <= 1 keep the fully sequential tick (the default); the
+	// effective fan-out is additionally capped at the region's shard count.
+	TickWorkers int
 }
 
 // DefaultConfig returns the VMC configuration used by the reproduction's
@@ -191,6 +204,14 @@ type VMC struct {
 	lastRMTTF    float64 // last raw (un-smoothed) RMTTF computed from predictions
 	predicted    map[string]float64
 	targetActive int
+
+	// Reusable scratch buffers that keep the per-tick and per-request hot
+	// paths allocation-free: one shardScratch per region shard for the
+	// control tick's parallel phase, one ACTIVE-VM buffer for Submit's
+	// dispatch scan and one for the elasticity controller's region-wide scan.
+	scratch      []shardScratch
+	submitActive []*cloudsim.VM
+	elastActive  []*cloudsim.VM
 
 	stats   Stats
 	started bool
@@ -280,14 +301,14 @@ func (v *VMC) hookVM(eng *simclock.Engine, vm *cloudsim.VM) {
 // when no shard has one the request is dropped.  With one shard this is
 // exactly the classic whole-pool shortest-queue balancer.
 func (v *VMC) Submit(eng *simclock.Engine, req *cloudsim.Request) {
-	var active []*cloudsim.VM
+	active := v.submitActive[:0]
 	for tries, n := 0, v.region.NumShards(); tries < n; tries++ {
 		v.shardRR++
-		if a := v.region.ActiveVMsInShard(v.shardRR % n); len(a) > 0 {
-			active = a
+		if active = v.region.AppendByStateInShard(active[:0], v.shardRR%n, cloudsim.StateActive); len(active) > 0 {
 			break
 		}
 	}
+	v.submitActive = active // keep the grown buffer for the next request
 	if len(active) == 0 {
 		if req.OnDone != nil {
 			req.OnDone(cloudsim.Outcome{Request: req, Region: v.region.Name(), Start: eng.Now(), End: eng.Now(), Dropped: true})
@@ -312,13 +333,45 @@ type vmPrediction struct {
 	resp float64
 }
 
-// ControlTick runs one local monitor/analyze/execute iteration: shard by
-// shard it samples every ACTIVE VM, predicts its RTTF and proactively
-// rejuvenates the VMs whose predicted RTTF fell below the threshold; the
-// per-shard partial sums are merged into the region RMTTF at the end, and the
-// elasticity actions apply region-wide.  With one shard the iteration is
-// exactly the classic whole-pool scan; with N shards each scan and each
-// worst-first sort touches only pool/N VMs.
+// shardScratch is one shard's slice of the control tick: the reusable buffers
+// the shard's monitor/analyze phase fills and the partial aggregates the
+// serial merge phase consumes.  One instance exists per region shard and is
+// touched by exactly one goroutine during the parallel phase, so the tick
+// needs no locking and the buffers keep the hot path allocation-free.
+type shardScratch struct {
+	active []*cloudsim.VM // reusable ACTIVE-VM scan buffer
+	preds  []vmPrediction // this tick's predictions, sorted worst-first
+
+	// Partial aggregates, merged region-wide in shard-index order.
+	sum         float64 // reported-RTTF partial sum
+	reportable  int     // VMs contributing to the RMTTF
+	respSum     float64 // response-time partial sum (seconds)
+	respSamples int
+	sampled     int // ACTIVE VMs sampled in this shard
+}
+
+// ControlTick runs one local monitor/analyze/execute iteration in three
+// phases:
+//
+//  1. Serial pre-phase: refill the active pool to its target size (state
+//     transitions schedule engine events, so this cannot run concurrently).
+//  2. Per-shard phase: every shard samples its own ACTIVE VMs, predicts
+//     their RTTF and sorts its rejuvenation candidates worst-first, writing
+//     only to its shardScratch.  With Config.TickWorkers > 1 the shards run
+//     on a bounded goroutine fan-out (simclock.Engine.ParallelPhase);
+//     otherwise they run inline in shard-index order — the same code path,
+//     so the sequential configuration is a true fast path, not a fork.
+//  3. Barrier + serial merge: the per-shard partials are folded in
+//     shard-index order into the region RMTTF, the about-to-fail VMs are
+//     rejuvenated (worst first within each shard) and the elasticity actions
+//     apply region-wide.
+//
+// Because each VM owns a forked RNG stream and VMs never migrate between
+// shards, the per-shard phase consumes randomness deterministically no matter
+// how the goroutines interleave; together with the ordered merge this makes
+// the tick byte-identical for every TickWorkers value and any GOMAXPROCS.
+// With one shard the iteration is exactly the classic whole-pool scan; with N
+// shards each scan and each worst-first sort touches only pool/N VMs.
 func (v *VMC) ControlTick(eng *simclock.Engine) {
 	v.stats.ControlTicks++
 	// Keep the active pool at its target size: failures and rejuvenations
@@ -329,57 +382,38 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 		}
 	}
 
-	// Monitor + analyze: predict the RTTF of each active VM, one shard at a
-	// time, accumulating the region aggregates from the per-shard partials.
+	// Monitor + analyze: the per-shard phase, fanned out when configured.
 	numShards := v.region.NumShards()
-	shardPreds := make([][]vmPrediction, 0, numShards)
+	if len(v.scratch) < numShards {
+		v.scratch = append(v.scratch, make([]shardScratch, numShards-len(v.scratch))...)
+	}
+	now := eng.Now()
+	if workers := v.cfg.TickWorkers; workers > 1 && numShards > 1 {
+		eng.ParallelPhase(numShards, workers, func(s int) { v.shardTick(now, s) })
+	} else {
+		for s := 0; s < numShards; s++ {
+			v.shardTick(now, s)
+		}
+	}
+
+	// Merge: fold the partials in shard-index order (floating-point addition
+	// is order-sensitive, so the fold order is part of the determinism
+	// contract) and publish the per-VM predictions.
 	sum := 0.0
 	reportable := 0
 	respSum := 0.0
 	respSamples := 0
 	sampled := 0
 	for s := 0; s < numShards; s++ {
-		active := v.region.ActiveVMsInShard(s)
-		if len(active) == 0 {
-			continue
+		sc := &v.scratch[s]
+		sampled += sc.sampled
+		sum += sc.sum
+		reportable += sc.reportable
+		respSum += sc.respSum
+		respSamples += sc.respSamples
+		for _, p := range sc.preds {
+			v.predicted[p.vm.ID()] = p.rttf
 		}
-		sampled += len(active)
-		preds := make([]vmPrediction, 0, len(active))
-		for _, vm := range active {
-			sample := vm.Sample(eng.Now())
-			rttf := v.predictor.PredictRTTF(vm, sample)
-			v.predicted[vm.ID()] = rttf
-			resp := sample.Get(features.ResponseTimeMs) / 1000
-			preds = append(preds, vmPrediction{vm: vm, rttf: rttf, resp: resp})
-			if sample.Get(features.RequestRate) <= 0 {
-				// A VM that served nothing in the interval (typically one that
-				// was activated moments ago) carries no information about the
-				// region's health; folding its "no data" prediction into the
-				// RMTTF would inflate the estimate exactly when the region is
-				// churning.
-				continue
-			}
-			// The failure point of F2PM is not only a crash: a sustained SLA
-			// violation counts as a failure too.  A VM whose observed response
-			// time already exceeds the SLA is therefore on its way to the
-			// failure point no matter how much anomaly budget is left, so the
-			// RMTTF reported to the leader reflects that (the policies then
-			// move load away from the overloaded region).  The per-VM
-			// rejuvenation decision below keeps using the anomaly-based
-			// prediction: rejuvenating a fresh-but-overloaded VM would not
-			// help.
-			reported := rttf
-			if v.cfg.ResponseTimeThreshold > 0 && resp > v.cfg.ResponseTimeThreshold {
-				if slaRTTF := v.cfg.RTTFThreshold * v.cfg.ResponseTimeThreshold / resp; slaRTTF < reported {
-					reported = slaRTTF
-				}
-			}
-			sum += reported
-			reportable++
-			respSum += resp
-			respSamples++
-		}
-		shardPreds = append(shardPreds, preds)
 	}
 	if sampled == 0 {
 		return
@@ -396,9 +430,8 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 	// Execute: proactive rejuvenation of about-to-fail VMs (worst first
 	// within each shard, and never below MinActive active VMs region-wide
 	// unless a standby can take over).
-	for _, preds := range shardPreds {
-		sort.Slice(preds, func(i, j int) bool { return preds[i].rttf < preds[j].rttf })
-		for _, p := range preds {
+	for s := 0; s < numShards; s++ {
+		for _, p := range v.scratch[s].preds {
 			if p.rttf >= v.cfg.RTTFThreshold {
 				break
 			}
@@ -419,6 +452,58 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 	}
 }
 
+// shardTick is the per-shard monitor/analyze phase of one control tick: it
+// samples every ACTIVE VM of shard s, predicts its RTTF, accumulates the
+// shard's partial aggregates and sorts the shard's rejuvenation candidates
+// worst-first.  It writes only to v.scratch[s] and the shard's own VMs, reads
+// no engine state beyond the prefetched timestamp, and schedules nothing —
+// the contract that makes it safe to run concurrently with the other shards'
+// phases.
+func (v *VMC) shardTick(now simclock.Time, s int) {
+	sc := &v.scratch[s]
+	sc.sum, sc.reportable, sc.respSum, sc.respSamples, sc.sampled = 0, 0, 0, 0, 0
+	sc.preds = sc.preds[:0]
+	sc.active = v.region.AppendByStateInShard(sc.active[:0], s, cloudsim.StateActive)
+	if len(sc.active) == 0 {
+		return
+	}
+	sc.sampled = len(sc.active)
+	for _, vm := range sc.active {
+		sample := vm.Sample(now)
+		rttf := v.predictor.PredictRTTF(vm, sample)
+		resp := sample.Get(features.ResponseTimeMs) / 1000
+		sc.preds = append(sc.preds, vmPrediction{vm: vm, rttf: rttf, resp: resp})
+		if sample.Get(features.RequestRate) <= 0 {
+			// A VM that served nothing in the interval (typically one that
+			// was activated moments ago) carries no information about the
+			// region's health; folding its "no data" prediction into the
+			// RMTTF would inflate the estimate exactly when the region is
+			// churning.
+			continue
+		}
+		// The failure point of F2PM is not only a crash: a sustained SLA
+		// violation counts as a failure too.  A VM whose observed response
+		// time already exceeds the SLA is therefore on its way to the
+		// failure point no matter how much anomaly budget is left, so the
+		// RMTTF reported to the leader reflects that (the policies then
+		// move load away from the overloaded region).  The per-VM
+		// rejuvenation decision in the merge phase keeps using the
+		// anomaly-based prediction: rejuvenating a fresh-but-overloaded VM
+		// would not help.
+		reported := rttf
+		if v.cfg.ResponseTimeThreshold > 0 && resp > v.cfg.ResponseTimeThreshold {
+			if slaRTTF := v.cfg.RTTFThreshold * v.cfg.ResponseTimeThreshold / resp; slaRTTF < reported {
+				reported = slaRTTF
+			}
+		}
+		sc.sum += reported
+		sc.reportable++
+		sc.respSum += resp
+		sc.respSamples++
+	}
+	sort.Slice(sc.preds, func(i, j int) bool { return sc.preds[i].rttf < sc.preds[j].rttf })
+}
+
 // applyElasticity implements the ADDVMS action and the scale-down branch.
 func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
 	if meanResp > v.cfg.ResponseTimeThreshold {
@@ -436,7 +521,8 @@ func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
 		return
 	}
 	if v.cfg.ScaleDownRMTTF > 0 && v.rmttf.Value() > v.cfg.ScaleDownRMTTF {
-		active := v.region.ActiveVMs()
+		v.elastActive = v.region.AppendByState(v.elastActive[:0], cloudsim.StateActive)
+		active := v.elastActive
 		if len(active) > v.cfg.MinActive {
 			// Deactivate the healthiest VM: it has the most anomaly budget
 			// left, so parking it wastes the least remaining lifetime.

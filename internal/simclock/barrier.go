@@ -1,0 +1,89 @@
+package simclock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the engine's concurrency seam: a bounded fan-out primitive
+// (ForEach) and the control-tick parallel-phase hook (Engine.ParallelPhase)
+// that lets an event handler farm shard-local work out to goroutines while
+// the simulated clock stands still.
+//
+// The engine itself stays single-threaded by design — events fire one at a
+// time and the queue is never touched concurrently.  What ParallelPhase adds
+// is a strictly bounded window *inside* one event during which goroutines may
+// run, under a hard contract: they operate on disjoint state (one shard
+// each), they may read the engine's clock, and they must not schedule events,
+// consume the engine's RNG, or touch any other shard's state.  The engine
+// enforces the scheduling half of that contract at runtime: Schedule /
+// ScheduleAt / Ticker panic when called during a parallel phase, so a
+// cross-shard mutation that reaches the event queue is caught immediately
+// instead of surfacing as a nondeterministic run.
+
+// ForEach runs fn(0), ..., fn(n-1) on up to workers goroutines and blocks
+// until every call has returned (the barrier).  With workers <= 1 — or n <= 1
+// — the calls run inline on the caller's goroutine in index order, making the
+// sequential configuration a true fast path: no goroutines, no channels, no
+// synchronisation.
+//
+// Indices are handed out through an atomic counter (work stealing), so
+// workers that finish cheap indices immediately pick up the next one and an
+// uneven cost distribution across indices does not serialise the phase.  fn
+// must be safe to call concurrently for distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelPhase runs fn(0), ..., fn(n-1) on up to workers goroutines from
+// inside an event handler and returns only when every call has completed —
+// the barrier at the control-tick boundary.  The simulated clock does not
+// advance and no other event fires while the phase runs, so fn may read
+// e.Now() freely; scheduling events from inside the phase panics (see the
+// contract above).  Results must be written to per-index state and merged by
+// the caller after ParallelPhase returns, in index order, so the merged
+// output is independent of goroutine scheduling.
+func (e *Engine) ParallelPhase(n, workers int, fn func(i int)) {
+	if e.inParallelPhase {
+		panic("simclock: nested ParallelPhase")
+	}
+	e.inParallelPhase = true
+	defer func() { e.inParallelPhase = false }()
+	ForEach(n, workers, fn)
+}
+
+// InParallelPhase reports whether the engine is currently inside a
+// ParallelPhase fan-out (true only on the goroutines of that phase and on the
+// event handler driving it).
+func (e *Engine) InParallelPhase() bool { return e.inParallelPhase }

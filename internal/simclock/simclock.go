@@ -136,6 +136,12 @@ type Engine struct {
 	fired   uint64
 	horizon Time
 	stopped bool
+
+	// inParallelPhase is set while ParallelPhase (barrier.go) fans shard-local
+	// work out to goroutines; scheduling is rejected during that window so a
+	// handler that violates the shard-local contract fails loudly instead of
+	// corrupting the event queue.
+	inParallelPhase bool
 }
 
 // NewEngine returns an engine starting at time zero with the given RNG seed.
@@ -173,6 +179,9 @@ func (e *Engine) ScheduleFunc(d Duration, fn func(*Engine)) Handle {
 // ScheduleAt enqueues ev to fire at the absolute simulated time at.  Times in
 // the past are clamped to Now so causality is preserved.
 func (e *Engine) ScheduleAt(at Time, ev Event) Handle {
+	if e.inParallelPhase {
+		panic("simclock: Schedule during a parallel phase (parallel-phase work must be shard-local; schedule from the merge phase instead)")
+	}
 	if at < e.now {
 		at = e.now
 	}
