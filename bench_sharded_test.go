@@ -90,3 +90,85 @@ func BenchmarkRegionSharded_16(b *testing.B) { runShardedRegionBench(b, 16, 1) }
 func BenchmarkRegionSharded_Parallel_1(b *testing.B)  { runShardedRegionBench(b, 16, 1) }
 func BenchmarkRegionSharded_Parallel_4(b *testing.B)  { runShardedRegionBench(b, 16, 4) }
 func BenchmarkRegionSharded_Parallel_16(b *testing.B) { runShardedRegionBench(b, 16, 16) }
+
+// runEventLoopRegionBench is the same heavy-traffic minute against the
+// 16-shard region, but on the parallel event loop: every shard is its own
+// sub-engine servicing its arrivals, service completions and rejuvenation
+// timers, with the shard loops fanned out to eventWorkers goroutines in
+// lockstep epochs (simclock.ShardedEngine).  Arrivals are generated
+// shard-locally (request j enters shard j mod 16), so the serviced path —
+// the bulk of the run — executes fully in parallel, unlike the _Parallel
+// variants above which only parallelise the control tick.  The ns/op ratio
+// of BenchmarkRegionSharded_16 (serial event loop, same shard count) to
+// BenchmarkRegionSharded_EventLoop_16 is the request-service speedup on a
+// multi-core host; on a single core the expectation is rough neutrality
+// (epoch barriers must cost no more than a few percent).
+func runEventLoopRegionBench(b *testing.B, shards, eventWorkers int) {
+	b.Helper()
+	cfg := cloudsim.RegionConfig{
+		Name:           "megaregion",
+		Provider:       "aws",
+		Location:       "bench",
+		Type:           cloudsim.M3Medium,
+		InitialActive:  benchShardedActive,
+		InitialStandby: benchShardedStandby,
+		MaxVMs:         benchShardedActive + benchShardedStandby,
+		Shards:         shards,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		se := simclock.NewShardedEngine(shards, 42, simclock.DefaultEpoch, eventWorkers)
+		region := cloudsim.NewRegion(cfg, simclock.NewRNG(42))
+		vmc, err := pcam.NewVMC(region, pcam.OraclePredictor{}, pcam.Config{ElasticityEnabled: false, TickWorkers: eventWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines := make([]*simclock.Engine, shards)
+		for s := range engines {
+			engines[s] = se.Shard(s)
+		}
+		vmc.StartSharded(se, engines)
+		served := make([]int, shards) // per-shard counters: completions stay shard-local
+		for j := 0; j < benchShardedRequests; j++ {
+			at := simclock.Duration(float64(j) * 60.0 / benchShardedRequests)
+			id := uint64(j)
+			shard := j % shards
+			engines[shard].ScheduleFunc(at, func(e *simclock.Engine) {
+				vmc.SubmitShard(e, shard, &cloudsim.Request{ID: id, ServiceFactor: 1, Arrival: e.Now(),
+					OnDone: func(o cloudsim.Outcome) {
+						if !o.Dropped {
+							served[shard]++
+						}
+					}})
+			})
+		}
+		b.StartTimer()
+		if err := se.Run(5 * simclock.Minute); err != nil && err != simclock.ErrHorizonReached {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		vmc.Stop()
+		total := 0
+		for _, n := range served {
+			total += n
+		}
+		if total < benchShardedRequests*9/10 {
+			b.Fatalf("only %d of %d requests served", total, benchShardedRequests)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(shards), "shards")
+	b.ReportMetric(float64(benchShardedRequests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// The _EventLoop variants run the 16-shard configuration with the event loop
+// fanned out to 1, 4 and 16 shard-loop goroutines.  Output is byte-identical
+// across the three (the event-loop equivalence suite pins that); the ns/op
+// ratio against BenchmarkRegionSharded_16 quantifies the request-service
+// speedup on multi-core hosts — the number the nightly GOMAXPROCS=4 CI job
+// records.
+func BenchmarkRegionSharded_EventLoop_1(b *testing.B)  { runEventLoopRegionBench(b, 16, 1) }
+func BenchmarkRegionSharded_EventLoop_4(b *testing.B)  { runEventLoopRegionBench(b, 16, 4) }
+func BenchmarkRegionSharded_EventLoop_16(b *testing.B) { runEventLoopRegionBench(b, 16, 16) }

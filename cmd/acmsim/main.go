@@ -42,6 +42,7 @@ func main() {
 		interval  = flag.Float64("interval", 60, "control loop interval in seconds")
 		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
 		tickWork  = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
+		eventWork = flag.Int("event-workers", -1, "run the sharded event loop with this many shard-loop goroutines (0 forces the serial engine, >= 1 selects the parallel event loop; byte-identical across all values >= 1; -1 keeps each scenario's own setting)")
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
@@ -63,13 +64,13 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -190,6 +191,14 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 		if tickWorkers > 0 {
 			scenario.VMC.TickWorkers = tickWorkers
 		}
+	}
+	// -event-workers switches the engine: 0 forces the serial single-queue
+	// engine, >= 1 the sharded event loop (one sub-engine per region shard,
+	// cross-shard mailboxes) with that many shard-loop goroutines.  Results
+	// are byte-identical across every value >= 1; the serial engine's bytes
+	// differ because the event loop epoch-quantises cross-shard effects.
+	if explicit["event-workers"] && eventWorkers >= 0 {
+		scenario.EventWorkers = eventWorkers
 	}
 	if dumpPath != "" {
 		if err := experiment.SaveScenarioFile(dumpPath, scenario); err != nil {

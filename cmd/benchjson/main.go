@@ -34,10 +34,28 @@ type File struct {
 	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to its
 	// metrics.
 	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// DeltaPct, when present, maps each benchmark to its percentage movement
+	// against the baseline it was compared to ((current-baseline)/baseline *
+	// 100, per gated metric).  The compare subcommand annotates the current
+	// file with it, so a downloaded BENCH_ci.json artifact shows the
+	// regression picture without re-running anything.
+	DeltaPct map[string]Metrics `json:"delta_pct,omitempty"`
 }
 
 // NsPerOp returns the benchmark's ns/op (0 when absent).
 func (m Metrics) NsPerOp() float64 { return m["ns/op"] }
+
+// gatedMetrics are the units the compare gate checks, each with its own
+// tolerance class: ns/op regressions use -max-regression, the memory metrics
+// (B/op, allocs/op) use -max-mem-regression.
+var gatedMetrics = []struct {
+	Unit string
+	Mem  bool
+}{
+	{Unit: "ns/op"},
+	{Unit: "B/op", Mem: true},
+	{Unit: "allocs/op", Mem: true},
+}
 
 // benchLine matches one result line of `go test -bench` output:
 // name, iteration count, then value/unit pairs.
@@ -108,24 +126,31 @@ func (f *File) Write(w io.Writer) error {
 	return enc.Encode(f)
 }
 
-// Regression is one benchmark whose ns/op moved beyond the tolerance.
+// Regression is one benchmark metric that moved beyond its tolerance.
 type Regression struct {
 	Name     string
-	Baseline float64 // baseline ns/op
-	Current  float64 // current ns/op
+	Metric   string  // "ns/op", "B/op" or "allocs/op"
+	Baseline float64 // baseline value
+	Current  float64 // current value
 	Delta    float64 // (current-baseline)/baseline
 }
 
-// Compare reports the benchmarks of current whose ns/op regressed more than
-// maxRegression (0.20 = 20% slower) relative to baseline, plus the baseline
-// benchmarks missing from current (gate erosion: a deleted benchmark must be
-// deleted from the baseline deliberately, not silently skipped).
-func Compare(baseline, current *File, maxRegression float64) (regressions []Regression, missing []string) {
+// Compare reports the benchmarks of current whose gated metrics regressed
+// beyond their tolerance relative to baseline — ns/op against maxRegression
+// (0.20 = 20% slower), B/op and allocs/op against maxMemRegression — plus
+// the baseline benchmarks missing from current (gate erosion: a deleted
+// benchmark must be deleted from the baseline deliberately, not silently
+// skipped).  A memory metric absent on either side is skipped: baselines
+// recorded before -benchmem carry no B/op, and that must not fail the gate.
+// It also annotates current.DeltaPct with the percentage movement of every
+// gated metric present on both sides.
+func Compare(baseline, current *File, maxRegression, maxMemRegression float64) (regressions []Regression, missing []string) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	current.DeltaPct = map[string]Metrics{}
 	for _, name := range names {
 		base := baseline.Benchmarks[name]
 		cur, ok := current.Benchmarks[name]
@@ -133,19 +158,34 @@ func Compare(baseline, current *File, maxRegression float64) (regressions []Regr
 			missing = append(missing, name)
 			continue
 		}
-		if base.NsPerOp() <= 0 {
-			continue
-		}
-		delta := (cur.NsPerOp() - base.NsPerOp()) / base.NsPerOp()
-		if delta > maxRegression {
-			regressions = append(regressions, Regression{Name: name, Baseline: base.NsPerOp(), Current: cur.NsPerOp(), Delta: delta})
+		for _, gm := range gatedMetrics {
+			bv, bok := base[gm.Unit]
+			cv, cok := cur[gm.Unit]
+			if !bok || !cok || bv <= 0 {
+				continue
+			}
+			delta := (cv - bv) / bv
+			dp := current.DeltaPct[name]
+			if dp == nil {
+				dp = Metrics{}
+				current.DeltaPct[name] = dp
+			}
+			dp[gm.Unit] = 100 * delta
+			tolerance := maxRegression
+			if gm.Mem {
+				tolerance = maxMemRegression
+			}
+			if delta > tolerance {
+				regressions = append(regressions, Regression{Name: name, Metric: gm.Unit, Baseline: bv, Current: cv, Delta: delta})
+			}
 		}
 	}
 	return regressions, missing
 }
 
-// comparisonTable renders every shared benchmark's ns/op movement, so the CI
-// log shows the whole perf trajectory, not only the failures.
+// comparisonTable renders every shared benchmark's movement across the gated
+// metrics, so the CI log shows the whole perf trajectory, not only the
+// failures.
 func comparisonTable(w io.Writer, baseline, current *File) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
@@ -154,14 +194,19 @@ func comparisonTable(w io.Writer, baseline, current *File) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%-40s %15s %15s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
-	for _, name := range names {
-		base, cur := baseline.Benchmarks[name].NsPerOp(), current.Benchmarks[name].NsPerOp()
-		delta := "n/a"
-		if base > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+	fmt.Fprintf(w, "%-40s %15s %15s %8s %9s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	deltaCol := func(base, cur Metrics, unit string) string {
+		bv, bok := base[unit]
+		cv, cok := cur[unit]
+		if !bok || !cok || bv <= 0 {
+			return "n/a"
 		}
-		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8s\n", name, base, cur, delta)
+		return fmt.Sprintf("%+.1f%%", 100*(cv-bv)/bv)
+	}
+	for _, name := range names {
+		base, cur := baseline.Benchmarks[name], current.Benchmarks[name]
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8s %9s %9s\n", name, base.NsPerOp(), cur.NsPerOp(),
+			deltaCol(base, cur, "ns/op"), deltaCol(base, cur, "B/op"), deltaCol(base, cur, "allocs/op"))
 	}
 }
 
@@ -202,6 +247,8 @@ func runCompare(args []string) error {
 	basePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 	curPath := fs.String("current", "BENCH_ci.json", "freshly recorded JSON")
 	maxReg := fs.Float64("max-regression", 0.20, "maximum tolerated ns/op regression (0.20 = 20% slower)")
+	maxMemReg := fs.Float64("max-mem-regression", 0.25, "maximum tolerated B/op and allocs/op regression (0.25 = 25% more)")
+	annotate := fs.Bool("annotate", false, "rewrite the -current file with a delta_pct section recording every gated metric's movement vs the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,18 +261,35 @@ func runCompare(args []string) error {
 		return err
 	}
 	comparisonTable(os.Stdout, baseline, current)
-	regressions, missing := Compare(baseline, current, *maxReg)
+	regressions, missing := Compare(baseline, current, *maxReg, *maxMemReg)
+	if *annotate {
+		f, err := os.Create(*curPath)
+		if err != nil {
+			return err
+		}
+		werr := current.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
 	for _, name := range missing {
 		fmt.Fprintf(os.Stderr, "benchjson: baseline benchmark %s missing from current run\n", name)
 	}
 	for _, r := range regressions {
-		fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)\n",
-			r.Name, 100*r.Delta, r.Baseline, r.Current, 100**maxReg)
+		tol := *maxReg
+		if r.Metric != "ns/op" {
+			tol = *maxMemReg
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% (%.0f -> %.0f %s, tolerance %.0f%%)\n",
+			r.Name, 100*r.Delta, r.Baseline, r.Current, r.Metric, 100*tol)
 	}
 	if len(regressions) > 0 || len(missing) > 0 {
 		return fmt.Errorf("%d regression(s), %d missing benchmark(s)", len(regressions), len(missing))
 	}
-	fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", len(baseline.Benchmarks), 100**maxReg)
+	fmt.Printf("benchjson: %d benchmarks within tolerance (ns/op %.0f%%, mem %.0f%%)\n", len(baseline.Benchmarks), 100**maxReg, 100**maxMemReg)
 	return nil
 }
 

@@ -84,12 +84,12 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	baseline := mkFile(map[string]float64{"A": 1000, "B": 1000, "C": 1000})
 	current := mkFile(map[string]float64{"A": 1100, "B": 1300, "C": 900, "New": 5000})
 
-	regressions, missing := Compare(baseline, current, 0.20)
+	regressions, missing := Compare(baseline, current, 0.20, 0.25)
 	if len(missing) != 0 {
 		t.Fatalf("unexpected missing: %v", missing)
 	}
-	if len(regressions) != 1 || regressions[0].Name != "B" {
-		t.Fatalf("want exactly B flagged (+30%% > 20%% tolerance), got %+v", regressions)
+	if len(regressions) != 1 || regressions[0].Name != "B" || regressions[0].Metric != "ns/op" {
+		t.Fatalf("want exactly B's ns/op flagged (+30%% > 20%% tolerance), got %+v", regressions)
 	}
 	if d := regressions[0].Delta; d < 0.29 || d > 0.31 {
 		t.Fatalf("B delta = %v, want ~0.30", d)
@@ -99,11 +99,86 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 func TestCompareReportsMissingBenchmarks(t *testing.T) {
 	baseline := mkFile(map[string]float64{"A": 1000, "Gone": 1000})
 	current := mkFile(map[string]float64{"A": 1000})
-	regressions, missing := Compare(baseline, current, 0.20)
+	regressions, missing := Compare(baseline, current, 0.20, 0.25)
 	if len(regressions) != 0 {
 		t.Fatalf("unexpected regressions: %+v", regressions)
 	}
 	if len(missing) != 1 || missing[0] != "Gone" {
 		t.Fatalf("want [Gone] missing, got %v", missing)
+	}
+}
+
+func TestCompareGatesMemoryMetrics(t *testing.T) {
+	baseline := &File{Benchmarks: map[string]Metrics{
+		"A": {"ns/op": 1000, "B/op": 1000, "allocs/op": 100},
+		"B": {"ns/op": 1000, "B/op": 1000, "allocs/op": 100},
+	}}
+	current := &File{Benchmarks: map[string]Metrics{
+		// ns/op inside 20%, B/op +50% (beyond the 25% mem tolerance).
+		"A": {"ns/op": 1100, "B/op": 1500, "allocs/op": 100},
+		// allocs/op +30%, B/op inside tolerance.
+		"B": {"ns/op": 900, "B/op": 1100, "allocs/op": 130},
+	}}
+	regressions, missing := Compare(baseline, current, 0.20, 0.25)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing: %v", missing)
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("want exactly A's B/op and B's allocs/op flagged, got %+v", regressions)
+	}
+	if regressions[0].Name != "A" || regressions[0].Metric != "B/op" {
+		t.Fatalf("first regression = %+v, want A B/op", regressions[0])
+	}
+	if regressions[1].Name != "B" || regressions[1].Metric != "allocs/op" {
+		t.Fatalf("second regression = %+v, want B allocs/op", regressions[1])
+	}
+}
+
+func TestCompareSkipsAbsentMemoryMetrics(t *testing.T) {
+	// Baselines recorded before -benchmem carry no B/op: the gate must not
+	// fail on the missing metric, only on what both sides recorded.
+	baseline := mkFile(map[string]float64{"A": 1000})
+	current := &File{Benchmarks: map[string]Metrics{
+		"A": {"ns/op": 1000, "B/op": 999999, "allocs/op": 999999},
+	}}
+	regressions, missing := Compare(baseline, current, 0.20, 0.25)
+	if len(regressions) != 0 || len(missing) != 0 {
+		t.Fatalf("absent baseline mem metrics must be skipped, got regressions=%+v missing=%v", regressions, missing)
+	}
+}
+
+func TestCompareAnnotatesDeltaPct(t *testing.T) {
+	baseline := &File{Benchmarks: map[string]Metrics{
+		"A": {"ns/op": 1000, "B/op": 200, "allocs/op": 100},
+	}}
+	current := &File{Benchmarks: map[string]Metrics{
+		"A": {"ns/op": 1100, "B/op": 100, "allocs/op": 100},
+	}}
+	Compare(baseline, current, 0.20, 0.25)
+	dp, ok := current.DeltaPct["A"]
+	if !ok {
+		t.Fatalf("delta_pct not annotated: %+v", current.DeltaPct)
+	}
+	if got := dp["ns/op"]; got < 9.9 || got > 10.1 {
+		t.Fatalf("delta_pct ns/op = %v, want ~10", got)
+	}
+	if got := dp["B/op"]; got < -50.1 || got > -49.9 {
+		t.Fatalf("delta_pct B/op = %v, want ~-50", got)
+	}
+	if got := dp["allocs/op"]; got != 0 {
+		t.Fatalf("delta_pct allocs/op = %v, want 0", got)
+	}
+	// The annotation must survive the JSON round trip the -annotate flag
+	// performs, so the artifact is self-describing.
+	var buf bytes.Buffer
+	if err := current.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DeltaPct["A"]["ns/op"] != dp["ns/op"] {
+		t.Fatalf("delta_pct lost in round trip: %+v", back.DeltaPct)
 	}
 }

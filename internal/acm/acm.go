@@ -94,6 +94,19 @@ type Config struct {
 	// been running before the measurements started).  Negative disables the
 	// stagger; zero selects the default of 0.5.
 	InitialAgeSpread float64
+	// EventWorkers switches the deployment onto the sharded event loop (see
+	// eventloop.go): every region shard becomes its own sub-engine and the
+	// shard loops run on up to EventWorkers goroutines in lockstep epochs.
+	// Zero keeps the serial single-queue engine, byte-identical to the
+	// pre-event-loop behaviour; any value >= 1 selects the epochal engine,
+	// whose output is byte-identical across all worker counts (1 runs the
+	// shard loops inline).
+	EventWorkers int
+	// EventEpoch is the lockstep epoch width of the sharded event loop
+	// (simclock.DefaultEpoch when zero).  Cross-shard mailbox traffic is
+	// delivered at epoch barriers; periodic controllers still fire at their
+	// exact timestamps.
+	EventEpoch simclock.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.InitialAgeSpread < 0 {
 		c.InitialAgeSpread = 0
 	}
+	if c.EventWorkers < 0 {
+		c.EventWorkers = 0
+	}
+	if c.EventWorkers > 0 && c.EventEpoch <= 0 {
+		c.EventEpoch = simclock.DefaultEpoch
+	}
 	return c
 }
 
@@ -128,7 +147,9 @@ type Manager struct {
 
 	regions     []*cloudsim.Region
 	regionNames []string
+	regionIndex map[string]int
 	vmcs        map[string]*pcam.VMC
+	el          *eventLoop // non-nil when EventWorkers >= 1 (sharded event loop)
 	populations map[string]*workload.Population
 	surges      map[string]*workload.Population
 	surgeAt     map[string]simclock.Duration
@@ -210,30 +231,39 @@ func NewManager(cfg Config) (*Manager, error) {
 		}
 		m.vmcs[region.Name()] = vmc
 
-		pop := workload.NewPopulation(workload.PopulationConfig{
-			Region:        region.Name(),
-			Clients:       rs.Clients,
-			Mix:           rs.Mix,
-			ThinkTimeMean: cfg.ThinkTime,
-			Timeout:       cfg.RequestTimeout,
-			RampUp:        cfg.ControlInterval / 2,
-		}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+101), m.entryDispatcher(region.Name()), m.metrics)
-		m.populations[region.Name()] = pop
-
-		if rs.SurgeClients > 0 && rs.SurgeAt > 0 {
-			surge := workload.NewPopulation(workload.PopulationConfig{
+		// With the sharded event loop each shard gets its own population,
+		// built in newEventLoop below; the serial engine keeps one population
+		// per region.
+		if cfg.EventWorkers == 0 {
+			pop := workload.NewPopulation(workload.PopulationConfig{
 				Region:        region.Name(),
-				Clients:       rs.SurgeClients,
+				Clients:       rs.Clients,
 				Mix:           rs.Mix,
 				ThinkTimeMean: cfg.ThinkTime,
 				Timeout:       cfg.RequestTimeout,
 				RampUp:        cfg.ControlInterval / 2,
-			}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+271), m.entryDispatcher(region.Name()), m.metrics)
-			m.surges[region.Name()] = surge
-			m.surgeAt[region.Name()] = rs.SurgeAt
+			}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+101), m.entryDispatcher(region.Name()), m.metrics)
+			m.populations[region.Name()] = pop
+
+			if rs.SurgeClients > 0 && rs.SurgeAt > 0 {
+				surge := workload.NewPopulation(workload.PopulationConfig{
+					Region:        region.Name(),
+					Clients:       rs.SurgeClients,
+					Mix:           rs.Mix,
+					ThinkTimeMean: cfg.ThinkTime,
+					Timeout:       cfg.RequestTimeout,
+					RampUp:        cfg.ControlInterval / 2,
+				}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+271), m.entryDispatcher(region.Name()), m.metrics)
+				m.surges[region.Name()] = surge
+				m.surgeAt[region.Name()] = rs.SurgeAt
+			}
 		}
 	}
 	m.regionNames = names
+	m.regionIndex = map[string]int{}
+	for i, name := range names {
+		m.regionIndex[name] = i
+	}
 
 	// Overlay + leader election among the controllers.
 	m.net = cfg.Overlay
@@ -265,6 +295,15 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m.plan = plan
+
+	// Assemble the sharded event loop last: it needs the regions, VMCs,
+	// overlay and initial plan.  The control timeline becomes the Manager's
+	// engine, so fault injection and the control-era ticker land on the
+	// timeline that fires at epoch barriers.
+	if cfg.EventWorkers > 0 {
+		m.el = newEventLoop(m)
+		m.eng = m.el.se.Control()
+	}
 	return m, nil
 }
 
@@ -383,9 +422,9 @@ func hashString(s string) uint64 {
 // entrySharesFromClients returns the per-region share of connected clients,
 // the best estimate of the entry distribution before any traffic is observed.
 func (m *Manager) entrySharesFromClients() []float64 {
-	out := make([]float64, len(m.regionNames))
-	for i, name := range m.regionNames {
-		out[i] = float64(m.populations[name].Size())
+	out := make([]float64, len(m.cfg.Regions))
+	for i, rs := range m.cfg.Regions {
+		out[i] = float64(rs.Clients)
 	}
 	return core.Normalize(out)
 }
@@ -397,8 +436,18 @@ func (m *Manager) Engine() *simclock.Engine { return m.eng }
 // Recorder returns the experiment time-series recorder.
 func (m *Manager) Recorder() *trace.Recorder { return m.recorder }
 
-// Metrics returns the client-side workload metrics.
-func (m *Manager) Metrics() *workload.Metrics { return m.metrics }
+// Metrics returns the client-side workload metrics.  On the sharded event
+// loop this merges the per-shard sinks in shard-index order (the fixed fold
+// order of the determinism contract).
+func (m *Manager) Metrics() *workload.Metrics { return m.currentMetrics() }
+
+// currentMetrics returns the live metrics view for the active engine mode.
+func (m *Manager) currentMetrics() *workload.Metrics {
+	if m.el != nil {
+		return m.el.mergedMetrics()
+	}
+	return m.metrics
+}
 
 // Overlay returns the controller overlay network.
 func (m *Manager) Overlay() *overlay.Network { return m.net }
@@ -426,11 +475,23 @@ func (m *Manager) Eras() uint64 { return m.eras }
 
 // ForwardedRequests returns how many requests were forwarded to a region
 // other than their entry region (the redirection overhead of Section VI-B).
-func (m *Manager) ForwardedRequests() uint64 { return m.forwardedRequests }
+func (m *Manager) ForwardedRequests() uint64 {
+	if m.el != nil {
+		_, forwarded := m.el.counters()
+		return forwarded
+	}
+	return m.forwardedRequests
+}
 
 // LocalRequests returns how many requests were processed in their entry
 // region.
-func (m *Manager) LocalRequests() uint64 { return m.localRequests }
+func (m *Manager) LocalRequests() uint64 {
+	if m.el != nil {
+		local, _ := m.el.counters()
+		return local
+	}
+	return m.localRequests
+}
 
 // ControlMessages returns the number of controller-to-controller messages
 // exchanged by the control loop (RMTTF reports and plan installations routed
@@ -440,12 +501,16 @@ func (m *Manager) ControlMessages() uint64 { return m.controlMessages }
 // Start launches the client populations, the per-region controllers and the
 // global control loop.
 func (m *Manager) Start() {
-	for _, name := range m.regionNames {
-		m.vmcs[name].Start(m.eng)
-		m.populations[name].Start(m.eng)
-		if surge, ok := m.surges[name]; ok {
-			surge := surge
-			m.eng.ScheduleFunc(m.surgeAt[name], func(e *simclock.Engine) { surge.Start(e) })
+	if m.el != nil {
+		m.el.start()
+	} else {
+		for _, name := range m.regionNames {
+			m.vmcs[name].Start(m.eng)
+			m.populations[name].Start(m.eng)
+			if surge, ok := m.surges[name]; ok {
+				surge := surge
+				m.eng.ScheduleFunc(m.surgeAt[name], func(e *simclock.Engine) { surge.Start(e) })
+			}
 		}
 	}
 	m.stopLoop = m.eng.Ticker(m.cfg.ControlInterval, func(eng *simclock.Engine) { m.controlEra(eng) })
@@ -454,12 +519,16 @@ func (m *Manager) Start() {
 // Stop halts the client populations and the controllers (pending events keep
 // draining until the engine finishes).
 func (m *Manager) Stop() {
-	for _, name := range m.regionNames {
-		m.populations[name].Stop()
-		if surge, ok := m.surges[name]; ok {
-			surge.Stop()
+	if m.el != nil {
+		m.el.stop()
+	} else {
+		for _, name := range m.regionNames {
+			m.populations[name].Stop()
+			if surge, ok := m.surges[name]; ok {
+				surge.Stop()
+			}
+			m.vmcs[name].Stop()
 		}
-		m.vmcs[name].Stop()
 	}
 	if m.stopLoop != nil {
 		m.stopLoop()
@@ -471,7 +540,12 @@ func (m *Manager) Stop() {
 // and stops it.  It can be called once per Manager.
 func (m *Manager) Run(horizon simclock.Duration) error {
 	m.Start()
-	err := m.eng.Run(horizon)
+	var err error
+	if m.el != nil {
+		err = m.el.se.Run(horizon)
+	} else {
+		err = m.eng.Run(horizon)
+	}
 	m.Stop()
 	if err != nil && err != simclock.ErrHorizonReached {
 		return err
@@ -514,7 +588,8 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	}
 
 	// λ and entry shares measured over the last interval.
-	lambda, entry := m.intervalArrivals(eng)
+	met := m.currentMetrics()
+	lambda, entry := m.intervalArrivals(met)
 
 	res, err := m.loop.Step(last, lambda, entry)
 	if err != nil {
@@ -522,8 +597,13 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	}
 	m.eras++
 
-	// Execute: install the plan (one message per reachable slave).
+	// Execute: install the plan (one message per reachable slave).  On the
+	// sharded event loop the snapshot every shard dispatches from is
+	// republished here, at the barrier, while the shard loops are idle.
 	m.plan = res.Plan
+	if m.el != nil {
+		m.el.installPlan(res.Plan)
+	}
 	for _, name := range m.regionNames {
 		if name != leader && m.net.Reachable(leader, name) {
 			m.controlMessages++
@@ -531,7 +611,7 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	}
 
 	// Record the series of Figures 3 and 4.
-	respMean := m.intervalResponseTime()
+	respMean := m.intervalResponseTime(met)
 	for i, name := range m.regionNames {
 		m.recorder.Record("rmttf", name, now, res.SmoothedRMTTF[i])
 		m.recorder.Record("fraction", name, now, res.Fractions[i])
@@ -544,12 +624,12 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 
 // intervalArrivals returns the global request rate and per-region entry
 // shares observed since the previous control era.
-func (m *Manager) intervalArrivals(eng *simclock.Engine) (lambda float64, entry []float64) {
+func (m *Manager) intervalArrivals(met *workload.Metrics) (lambda float64, entry []float64) {
 	interval := m.cfg.ControlInterval.Seconds()
 	totalNew := uint64(0)
 	entry = make([]float64, len(m.regionNames))
 	for i, name := range m.regionNames {
-		iss := m.metrics.Issued(name)
+		iss := met.Issued(name)
 		diff := iss - m.prevIssued[name]
 		m.prevIssued[name] = iss
 		entry[i] = float64(diff)
@@ -564,9 +644,9 @@ func (m *Manager) intervalArrivals(eng *simclock.Engine) (lambda float64, entry 
 // intervalResponseTime returns the mean client response time over the last
 // control interval (falling back to the lifetime mean when no request
 // completed in the interval).
-func (m *Manager) intervalResponseTime() float64 {
-	count := m.metrics.Completed("")
-	mean := m.metrics.MeanResponseTime("")
+func (m *Manager) intervalResponseTime(met *workload.Metrics) float64 {
+	count := met.Completed("")
+	mean := met.MeanResponseTime("")
 	total := mean * float64(count)
 	dCount := count - m.prevCompleted
 	dTotal := total - m.prevRespTotal

@@ -1,0 +1,248 @@
+// The sharded event loop of a deployment: with Config.EventWorkers >= 1 the
+// Manager promotes every region shard to its own simclock sub-engine and
+// runs the whole request-service path — client think timers, arrivals,
+// dispatch, service, completion, rejuvenation timers — on N shard loops in
+// lockstep epochs (simclock.ShardedEngine).  The serial engine only ever
+// fired one event at a time; here a 16-shard megaregion services sixteen
+// arrival/completion streams concurrently.
+//
+// Partitioning: each region's client population is split across its shards,
+// and a client's requests are dispatched inside its own shard (the serial
+// engine's per-request shard rotation becomes a static client→shard
+// binding, which spreads load identically in expectation and keeps the
+// arrival→dispatch→service→completion loop entirely shard-local).  Each
+// shard also owns a private workload.Metrics sink; reads merge the sinks in
+// shard-index order, so the merged floating-point moments are
+// bit-reproducible for every worker count.
+//
+// What crosses shards — and therefore travels through mailboxes drained at
+// epoch barriers — is exactly: requests forwarded to another region by the
+// global forward plan (plus their completions travelling back), requests
+// hopping off a shard that momentarily has no ACTIVE VM, and the reactive
+// recovery of a failed VM.  The periodic controllers (VMC ticks, the
+// leader's control era) run on the control timeline at their exact
+// timestamps with exclusive access to every shard.
+package acm
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// eventLoop holds the sharded-event-loop state of a Manager.
+type eventLoop struct {
+	mgr *Manager
+	se  *simclock.ShardedEngine
+
+	// engines[r][s] is the sub-engine of region r's shard s; base[r] is the
+	// global lane index of region r's shard 0.
+	engines [][]*simclock.Engine
+	base    []int
+	total   int
+
+	// Per-(region, shard) client populations and their surge counterparts.
+	pops  [][]*workload.Population
+	surge [][]*workload.Population
+
+	// Per-global-shard state, merged in shard-index order at read time.
+	metrics   []*workload.Metrics
+	local     []uint64
+	forwarded []uint64
+
+	// plans[g] is shard g's snapshot of the installed forward plan.  It is
+	// republished at the control era (an epoch barrier, while every shard
+	// loop is idle), so shard goroutines read their own slot without
+	// synchronisation.
+	plans []*core.ForwardPlan
+}
+
+// newEventLoop assembles the sharded event loop for a fully built Manager
+// (regions, VMCs, overlay, control loop and the initial plan all exist).
+func newEventLoop(m *Manager) *eventLoop {
+	el := &eventLoop{mgr: m}
+	el.base = make([]int, len(m.regions))
+	for i, r := range m.regions {
+		el.base[i] = el.total
+		el.total += r.NumShards()
+	}
+	el.se = simclock.NewShardedEngine(el.total, m.cfg.Seed, m.cfg.EventEpoch, m.cfg.EventWorkers)
+
+	el.engines = make([][]*simclock.Engine, len(m.regions))
+	el.metrics = make([]*workload.Metrics, el.total)
+	el.local = make([]uint64, el.total)
+	el.forwarded = make([]uint64, el.total)
+	el.plans = make([]*core.ForwardPlan, el.total)
+	for g := range el.metrics {
+		el.metrics[g] = workload.NewMetrics()
+		el.plans[g] = m.plan
+	}
+	el.pops = make([][]*workload.Population, len(m.regions))
+	el.surge = make([][]*workload.Population, len(m.regions))
+
+	for r, region := range m.regions {
+		n := region.NumShards()
+		el.engines[r] = make([]*simclock.Engine, n)
+		for s := 0; s < n; s++ {
+			el.engines[r][s] = el.se.Shard(el.base[r] + s)
+		}
+		rs := m.cfg.Regions[r]
+		el.pops[r] = el.buildPopulations(r, rs, rs.Clients, m.cfg.Seed+uint64(r)*7919+101)
+		if rs.SurgeClients > 0 && rs.SurgeAt > 0 {
+			el.surge[r] = el.buildPopulations(r, rs, rs.SurgeClients, m.cfg.Seed+uint64(r)*7919+271)
+		}
+	}
+	return el
+}
+
+// splitClients spreads count clients across n shards: shard s receives
+// count/n plus one of the count%n remainders.
+func splitClients(count, n, s int) int {
+	per := count / n
+	if s < count%n {
+		per++
+	}
+	return per
+}
+
+// buildPopulations creates one population per shard of region r, each bound
+// to its shard's dispatcher, metrics sink and a derived RNG stream.
+func (el *eventLoop) buildPopulations(r int, rs RegionSetup, clients int, seedBase uint64) []*workload.Population {
+	m := el.mgr
+	n := len(el.engines[r])
+	out := make([]*workload.Population, n)
+	for s := 0; s < n; s++ {
+		out[s] = workload.NewPopulation(workload.PopulationConfig{
+			Region:        rs.Region.Name,
+			IDPrefix:      shardPrefix(rs.Region.Name, s),
+			Clients:       splitClients(clients, n, s),
+			Mix:           rs.Mix,
+			ThinkTimeMean: m.cfg.ThinkTime,
+			Timeout:       m.cfg.RequestTimeout,
+			RampUp:        m.cfg.ControlInterval / 2,
+		}, simclock.NewStreamRNG(seedBase, uint64(s)), el.dispatcher(r, s), el.metrics[el.base[r]+s])
+	}
+	return out
+}
+
+// shardPrefix labels one shard's browsers ("region1/s03").
+func shardPrefix(region string, s int) string {
+	return fmt.Sprintf("%s/s%02d", region, s)
+}
+
+// dispatcher returns the entry load balancer of region r's shard s.  Local
+// requests dispatch inside the shard; the forward plan can route a request
+// to another region, which crosses shards and therefore goes through the
+// destination shard's mailbox, with the completion posted back to this
+// shard.
+func (el *eventLoop) dispatcher(r, s int) workload.Dispatcher {
+	m := el.mgr
+	g := el.base[r] + s
+	regionName := m.regionNames[r]
+	vmc := m.vmcs[regionName]
+	rng := simclock.NewStreamRNG(m.cfg.Seed^hashString(regionName), uint64(s))
+	return workload.DispatcherFunc(func(eng *simclock.Engine, req *cloudsim.Request) {
+		dest := el.plans[g].Destination(regionName, rng.Float64())
+		if dest == regionName {
+			el.local[g]++
+			vmc.SubmitShard(eng, s, req)
+			return
+		}
+		el.forwarded[g]++
+		req.Forwarded = true
+		latMs := m.net.Latency(regionName, dest)
+		if latMs != latMs || latMs > 1e6 { // NaN or unreachable: process locally
+			vmc.SubmitShard(eng, s, req)
+			return
+		}
+		oneWay := simclock.Duration(latMs / 1000)
+		dr := m.regionIndex[dest]
+		dstShards := len(el.engines[dr])
+		ds := 0
+		if dstShards > 1 {
+			ds = rng.Intn(dstShards)
+		}
+		dg := el.base[dr] + ds
+		dvmc := m.vmcs[dest]
+
+		// The request will complete on a foreign shard: re-home the
+		// completion as a mailbox post back to this shard (where the
+		// browser's think timer and this shard's metrics live) and shift the
+		// client-visible completion by the return latency, exactly like the
+		// serial dispatcher does.
+		req.RehomeOnDone(el.se, g, func(o *cloudsim.Outcome) { o.End = o.End.Add(oneWay) })
+
+		// One-way overlay latency: the post is delivered at the next epoch
+		// barrier; any latency still outstanding is scheduled on the
+		// destination shard's own timeline.
+		sendAt := eng.Now().Add(oneWay)
+		el.se.Post(eng, dg, func(dst *simclock.Engine) {
+			if remaining := sendAt.Sub(dst.Now()); remaining > 0 {
+				dst.ScheduleFunc(remaining, func(e2 *simclock.Engine) { dvmc.SubmitShard(e2, ds, req) })
+			} else {
+				dvmc.SubmitShard(dst, ds, req)
+			}
+		})
+	})
+}
+
+// start launches the controllers, the per-shard populations and the surge
+// timers on the sharded engine.
+func (el *eventLoop) start() {
+	m := el.mgr
+	for r, name := range m.regionNames {
+		m.vmcs[name].StartSharded(el.se, el.engines[r])
+		for s, pop := range el.pops[r] {
+			pop.Start(el.engines[r][s])
+		}
+		for s, pop := range el.surge[r] {
+			pop, eng := pop, el.engines[r][s]
+			eng.ScheduleFunc(m.cfg.Regions[r].SurgeAt, func(e *simclock.Engine) { pop.Start(e) })
+		}
+	}
+}
+
+// stop halts every population and controller.
+func (el *eventLoop) stop() {
+	m := el.mgr
+	for r, name := range m.regionNames {
+		for _, pop := range el.pops[r] {
+			pop.Stop()
+		}
+		for _, pop := range el.surge[r] {
+			pop.Stop()
+		}
+		m.vmcs[name].Stop()
+	}
+}
+
+// mergedMetrics folds the per-shard sinks in shard-index order — the fixed
+// fold order that makes the merged moments bit-reproducible.
+func (el *eventLoop) mergedMetrics() *workload.Metrics {
+	out := workload.NewMetrics()
+	for _, shardMetrics := range el.metrics {
+		out.Merge(shardMetrics)
+	}
+	return out
+}
+
+// counters returns the merged local/forwarded request counts.
+func (el *eventLoop) counters() (local, forwarded uint64) {
+	for g := range el.local {
+		local += el.local[g]
+		forwarded += el.forwarded[g]
+	}
+	return local, forwarded
+}
+
+// installPlan republishes the freshly installed forward plan to every
+// shard's snapshot slot.  Called from the control era, i.e. at an epoch
+// barrier while every shard loop is idle.
+func (el *eventLoop) installPlan(p *core.ForwardPlan) {
+	for g := range el.plans {
+		el.plans[g] = p
+	}
+}

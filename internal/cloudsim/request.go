@@ -29,6 +29,12 @@ type Request struct {
 	// OnDone, if non-nil, is invoked exactly once when the request completes
 	// (successfully or not).
 	OnDone func(Outcome)
+	// OnDoneCtx, if non-nil, takes precedence over OnDone and additionally
+	// receives the engine on which the completion fired.  The sharded event
+	// loop uses it to learn which shard sub-engine served the request so the
+	// completion can be posted back to the issuing shard's mailbox instead of
+	// touching the issuer's state from a foreign goroutine.
+	OnDoneCtx func(eng *simclock.Engine, o Outcome)
 }
 
 // Outcome describes how a request terminated.
@@ -61,11 +67,51 @@ func (o Outcome) ResponseTime() simclock.Duration {
 // ServiceTime returns the time the request actually spent in service.
 func (o Outcome) ServiceTime() simclock.Duration { return o.End.Sub(o.Start) }
 
-// finish invokes the completion callback exactly once.
-func (r *Request) finish(o Outcome) {
+// finish invokes the completion callback exactly once, with the engine the
+// completion fired on.
+func (r *Request) finish(eng *simclock.Engine, o Outcome) {
+	if r.OnDoneCtx != nil {
+		cb := r.OnDoneCtx
+		r.OnDoneCtx = nil
+		r.OnDone = nil
+		cb(eng, o)
+		return
+	}
 	if r.OnDone != nil {
 		cb := r.OnDone
 		r.OnDone = nil
 		cb(o)
+	}
+}
+
+// Finish completes the request exactly once through whichever completion
+// callback is installed.  It is the exported entry point for load balancers
+// and dispatchers that terminate a request themselves (e.g. dropping it when
+// no ACTIVE VM exists) rather than handing it to a VM.
+func (r *Request) Finish(eng *simclock.Engine, o Outcome) { r.finish(eng, o) }
+
+// RehomeOnDone prepares the request to complete on a foreign shard of a
+// sharded event loop: the current OnDone is replaced by an OnDoneCtx that
+// runs it directly when the completion fires on the home lane, and otherwise
+// posts it to the home shard's mailbox — so the issuer's state is never
+// touched from a foreign goroutine.  transform, if non-nil, adjusts the
+// outcome first (e.g. adding the return leg of an overlay latency).  Both
+// the region load balancer's empty-shard hop and the deployment's
+// cross-region dispatcher route completions through this one helper.
+func (r *Request) RehomeOnDone(se *simclock.ShardedEngine, home int, transform func(*Outcome)) {
+	orig := r.OnDone
+	r.OnDone = nil
+	r.OnDoneCtx = func(ceng *simclock.Engine, o Outcome) {
+		if transform != nil {
+			transform(&o)
+		}
+		if orig == nil {
+			return
+		}
+		if se.LaneOf(ceng) == home {
+			orig(o)
+			return
+		}
+		se.Post(ceng, home, func(*simclock.Engine) { orig(o) })
 	}
 }

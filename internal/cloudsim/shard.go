@@ -19,9 +19,10 @@ import (
 // streams are independent of each other and of the provisioning order of the
 // other shards, which keeps multi-shard runs deterministic.
 type shard struct {
-	index int
-	rng   *simclock.RNG
-	vms   []*VM // this shard's VMs, in provisioning order
+	index  int
+	rng    *simclock.RNG
+	vms    []*VM            // this shard's VMs, in provisioning order
+	engine *simclock.Engine // sub-engine owning this shard's events (nil = serial engine)
 }
 
 // Concurrency: a shard's accessors (byState, appendByState, countState,
@@ -121,6 +122,25 @@ func (sh *shard) trueRTTFSum(perVMRate float64) (sum float64, active int) {
 // NumShards returns the number of engine shards the region's VM pool is split
 // across (1 unless RegionConfig.Shards was set higher).
 func (r *Region) NumShards() int { return len(r.shards) }
+
+// BindShardEngines attaches one sub-engine per shard, enabling the parallel
+// event loop: controllers use the binding to route a VM's timed transitions
+// (rejuvenation completion, activation) to the engine that owns the VM's
+// shard.  The slice length must match NumShards.  Unbound regions (the
+// serial engine) report nil from ShardEngine and callers fall back to the
+// engine in hand.
+func (r *Region) BindShardEngines(engs []*simclock.Engine) {
+	if len(engs) != len(r.shards) {
+		panic(fmt.Sprintf("cloudsim: BindShardEngines got %d engines for %d shards", len(engs), len(r.shards)))
+	}
+	for i, sh := range r.shards {
+		sh.engine = engs[i]
+	}
+}
+
+// ShardEngine returns the sub-engine bound to shard i, or nil when the
+// region runs on the serial engine.
+func (r *Region) ShardEngine(i int) *simclock.Engine { return r.shards[i].engine }
 
 // ShardVMs returns the VMs owned by the given shard, in provisioning order.
 // It panics on an out-of-range shard index, mirroring slice indexing.

@@ -284,7 +284,7 @@ func (vm *VM) Rejuvenate(eng *simclock.Engine) bool {
 	if vm.state == StateRejuvenating {
 		return false
 	}
-	vm.failQueued(eng.Now(), "")
+	vm.failQueued(eng, "")
 	vm.state = StateRejuvenating
 	eng.ScheduleFunc(vm.cfg.Rejuvenation.RejuvenateDuration, func(e *simclock.Engine) {
 		vm.completeRejuvenation(e.Now())
@@ -315,7 +315,7 @@ func (vm *VM) completeRejuvenation(now simclock.Time) {
 func (vm *VM) Dispatch(eng *simclock.Engine, req *Request) bool {
 	if vm.state != StateActive {
 		vm.dropped++
-		req.finish(Outcome{Request: req, VM: vm.cfg.ID, Start: eng.Now(), End: eng.Now(), Dropped: true})
+		req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: eng.Now(), End: eng.Now(), Dropped: true})
 		return false
 	}
 	vm.queue = append(vm.queue, req)
@@ -366,7 +366,7 @@ func (vm *VM) completeService(eng *simclock.Engine, req *Request, start simclock
 	if vm.state == StateRejuvenating || vm.state == StateFailed {
 		// The VM went down while this request was in service.
 		vm.dropped++
-		req.finish(Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now, Dropped: true})
+		req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now, Dropped: true})
 		return
 	}
 
@@ -383,7 +383,7 @@ func (vm *VM) completeService(eng *simclock.Engine, req *Request, start simclock
 	}
 
 	vm.injectAnomalies()
-	req.finish(Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now})
+	req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now})
 
 	if vm.failurePointReached() {
 		vm.fail(eng)
@@ -433,17 +433,18 @@ func (vm *VM) fail(eng *simclock.Engine) {
 	}
 	vm.state = StateFailed
 	vm.crashes++
-	vm.failQueued(eng.Now(), vm.cfg.ID)
+	vm.failQueued(eng, vm.cfg.ID)
 	if vm.OnFailure != nil {
 		vm.OnFailure(vm, eng.Now())
 	}
 }
 
 // failQueued drops every queued (not yet in-service) request.
-func (vm *VM) failQueued(now simclock.Time, vmID string) {
+func (vm *VM) failQueued(eng *simclock.Engine, vmID string) {
+	now := eng.Now()
 	for _, q := range vm.queue {
 		vm.dropped++
-		q.finish(Outcome{Request: q, VM: vmID, Start: now, End: now, Dropped: true})
+		q.finish(eng, Outcome{Request: q, VM: vmID, Start: now, End: now, Dropped: true})
 	}
 	vm.queue = nil
 }

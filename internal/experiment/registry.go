@@ -86,6 +86,8 @@ func init() {
 	RegisterScenario("megaregion", "one region with a 5x10^3-VM pool on a single engine shard (baseline)", MegaregionScenario)
 	RegisterScenario("megaregion-sharded", "the 5x10^3-VM region split across 16 engine shards", MegaregionShardedScenario)
 	RegisterScenario("megaregion-parallel", "the 16-shard megaregion with the control tick fanned out to one goroutine per shard", MegaregionParallelScenario)
+	RegisterScenario("megaregion-eventloop", "the 16-shard megaregion with the event loop itself fanned out: one sub-engine per shard, cross-shard mailboxes", MegaregionEventLoopScenario)
+	RegisterScenario("figure4-eventloop", "figure4 with 3-shard regions on the parallel event loop (cross-region forwarding through mailboxes)", Figure4EventLoopScenario)
 }
 
 // Matrix describes a sweep grid over registered scenarios, policies, smoothing

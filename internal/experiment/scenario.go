@@ -38,6 +38,16 @@ type Scenario struct {
 	Predictor acm.PredictorMode
 	// VMC configures the per-region controllers.
 	VMC pcam.Config
+	// EventWorkers selects the sharded event loop: with a value >= 1 every
+	// region shard runs its own sub-engine and the shard loops execute on up
+	// to this many goroutines in lockstep epochs, with cross-shard effects
+	// delivered through mailboxes at epoch barriers.  Zero keeps the serial
+	// single-queue engine (byte-identical to the pre-event-loop behaviour);
+	// results are byte-identical across all values >= 1.
+	EventWorkers int
+	// EventEpoch overrides the lockstep epoch width of the sharded event
+	// loop (simclock.DefaultEpoch when zero).
+	EventEpoch simclock.Duration
 	// TailFraction is the fraction of the run treated as steady state when
 	// judging convergence and oscillation (0.4 when zero).
 	TailFraction float64
@@ -90,6 +100,8 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		ControlInterval: s.ControlInterval,
 		VMC:             s.VMC,
 		Predictor:       s.Predictor,
+		EventWorkers:    s.EventWorkers,
+		EventEpoch:      s.EventEpoch,
 	}
 }
 
@@ -273,6 +285,40 @@ func MegaregionShardedScenario(seed uint64) Scenario {
 // order.
 func MegaregionParallelScenario(seed uint64) Scenario {
 	return megaregionScenario("megaregion-parallel", seed, MegaregionShards, MegaregionShards)
+}
+
+// MegaregionEventLoopScenario is the 16-shard megaregion with the event loop
+// itself fanned out: every shard runs as its own sub-engine servicing its
+// arrivals, completions and rejuvenation timers in parallel (one goroutine
+// per shard), with the control tick also fanned out at the epoch barriers.
+// Unlike megaregion-parallel — which only parallelised the control tick's
+// monitor/analyze phase — this parallelises request service, the bulk of the
+// run.  Its results are byte-identical for every EventWorkers >= 1 at any
+// GOMAXPROCS (the event-loop equivalence suite pins that); they
+// intentionally differ from the serial megaregion-sharded bytes, because
+// cross-shard effects are epoch-quantised.
+func MegaregionEventLoopScenario(seed uint64) Scenario {
+	sc := megaregionScenario("megaregion-eventloop", seed, MegaregionShards, MegaregionShards)
+	sc.EventWorkers = MegaregionShards
+	return sc
+}
+
+// Figure4EventLoopScenario is the figure4 deployment with every region split
+// across 3 engine shards and the event loop fanned out: the richest
+// cross-shard traffic the repo has (three heterogeneous regions, the global
+// forward plan continuously redirecting requests between them, standby
+// promotions and reactive recoveries crossing shards through mailboxes).
+// It is the determinism workhorse of the parallel event loop: the
+// equivalence suite runs it at EventWorkers 1, 4 and GOMAXPROCS and demands
+// byte-identical output.
+func Figure4EventLoopScenario(seed uint64) Scenario {
+	sc := Figure4Scenario(seed)
+	sc.Name = "figure4-eventloop"
+	for i := range sc.Regions {
+		sc.Regions[i].Region.Shards = 3
+	}
+	sc.EventWorkers = 4
+	return sc
 }
 
 // Policies returns the three policies of the paper keyed by the short names

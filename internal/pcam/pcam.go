@@ -213,6 +213,13 @@ type VMC struct {
 	submitActive []*cloudsim.VM
 	elastActive  []*cloudsim.VM
 
+	// Sharded-event-loop state (eventloop.go): the owning ShardedEngine, the
+	// sub-engine of each region shard, and the per-shard load-balancer
+	// slices.  All nil/empty when the controller runs on the serial engine.
+	se           *simclock.ShardedEngine
+	shardEngines []*simclock.Engine
+	lbs          []shardLB
+
 	stats   Stats
 	started bool
 	stop    func()
@@ -278,7 +285,13 @@ func (v *VMC) Stop() {
 }
 
 // hookVM chains the reactive-recovery handler onto the VM's failure hook.
+// On a sharded event loop the reaction crosses shards, so it is posted to
+// the control timeline instead of running inline (see hookVMSharded).
 func (v *VMC) hookVM(eng *simclock.Engine, vm *cloudsim.VM) {
+	if v.se != nil {
+		v.hookVMSharded(vm)
+		return
+	}
 	prev := vm.OnFailure
 	vm.OnFailure = func(failed *cloudsim.VM, at simclock.Time) {
 		if prev != nil {
@@ -310,9 +323,7 @@ func (v *VMC) Submit(eng *simclock.Engine, req *cloudsim.Request) {
 	}
 	v.submitActive = active // keep the grown buffer for the next request
 	if len(active) == 0 {
-		if req.OnDone != nil {
-			req.OnDone(cloudsim.Outcome{Request: req, Region: v.region.Name(), Start: eng.Now(), End: eng.Now(), Dropped: true})
-		}
+		req.Finish(eng, cloudsim.Outcome{Request: req, Region: v.region.Name(), Start: eng.Now(), End: eng.Now(), Dropped: true})
 		return
 	}
 	v.rr++
@@ -441,7 +452,7 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 				// below the minimum; the next tick will retry.
 				continue
 			}
-			if p.vm.Rejuvenate(eng) {
+			if p.vm.Rejuvenate(v.engineForVM(eng, p.vm)) {
 				v.stats.ProactiveRejuvenations++
 			}
 		}
@@ -512,7 +523,7 @@ func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
 			added := v.region.Provision(1)
 			for _, vm := range added {
 				v.hookVM(eng, vm)
-				if vm.Activate(eng) {
+				if vm.Activate(v.engineForVM(eng, vm)) {
 					v.stats.Activations++
 				}
 				v.stats.ProvisionedVMs++
@@ -564,7 +575,7 @@ func (v *VMC) activateStandby(eng *simclock.Engine) bool {
 	if best == nil {
 		return false
 	}
-	if best.Activate(eng) {
+	if best.Activate(v.engineForVM(eng, best)) {
 		v.stats.Activations++
 		return true
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -142,12 +143,26 @@ type Engine struct {
 	// handler that violates the shard-local contract fails loudly instead of
 	// corrupting the event queue.
 	inParallelPhase bool
+
+	// cluster and shardIndex are set when the engine is a sub-engine (or the
+	// control timeline) of a ShardedEngine (sharded.go).  executing is true
+	// while the engine's own loop is running events; together with the
+	// cluster's inShardPhase flag it lets ScheduleAt reject cross-shard
+	// scheduling during a parallel epoch.
+	cluster    *ShardedEngine
+	shardIndex int
+	executing  atomic.Bool
 }
 
 // NewEngine returns an engine starting at time zero with the given RNG seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed), horizon: Time(math.Inf(1))}
+	return &Engine{rng: NewRNG(seed), horizon: Time(math.Inf(1)), shardIndex: -1}
 }
+
+// ShardIndex returns the engine's index within its owning ShardedEngine: the
+// shard number for a sub-engine, NumShards() for the control timeline, and
+// -1 for a standalone engine.
+func (e *Engine) ShardIndex() int { return e.shardIndex }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -181,6 +196,12 @@ func (e *Engine) ScheduleFunc(d Duration, fn func(*Engine)) Handle {
 func (e *Engine) ScheduleAt(at Time, ev Event) Handle {
 	if e.inParallelPhase {
 		panic("simclock: Schedule during a parallel phase (parallel-phase work must be shard-local; schedule from the merge phase instead)")
+	}
+	if e.cluster != nil && e.cluster.inShardPhase.Load() && !e.executing.Load() {
+		// A goroutine of the parallel epoch is scheduling onto an engine
+		// whose own loop is idle — i.e. onto a foreign shard (or the control
+		// timeline).  Cross-shard effects must go through the mailbox.
+		panic("simclock: Schedule on a foreign sub-engine during a parallel epoch (post to its mailbox instead)")
 	}
 	if at < e.now {
 		at = e.now
@@ -221,6 +242,54 @@ func (e *Engine) Run(horizon Duration) error {
 		e.now = e.horizon
 	}
 	return nil
+}
+
+// runEpoch executes every live event with a timestamp <= end in (time, seq)
+// order and advances the clock to end.  It is the per-shard slice of one
+// lockstep epoch (sharded.go): exactly the serial engine's loop, bounded by
+// the epoch barrier instead of a horizon, with the executing flag raised so
+// the cross-shard scheduling guard can tell this engine's own loop apart
+// from a foreign goroutine.
+func (e *Engine) runEpoch(end Time) {
+	e.executing.Store(true)
+	defer e.executing.Store(false)
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.ev.Fire(e)
+		e.fired++
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest live pending event and
+// whether one exists, discarding cancelled entries at the heap root on the
+// way.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// hasLiveEvents reports whether any non-cancelled event is pending.
+func (e *Engine) hasLiveEvents() bool {
+	_, ok := e.NextEventTime()
+	return ok
 }
 
 // RunUntilEmpty executes all scheduled events with no horizon.

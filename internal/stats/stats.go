@@ -194,6 +194,33 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// Merge folds another accumulator into w using the parallel-update form of
+// Welford's recurrence (Chan et al.), so per-partition accumulators can be
+// combined into the exact aggregate moments.  Merging in a fixed partition
+// order yields bit-reproducible results (floating-point addition is
+// order-sensitive, so the caller's fold order is part of any determinism
+// contract).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
 // Count returns the number of samples.
 func (w *Welford) Count() int { return w.n }
 

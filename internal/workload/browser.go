@@ -176,6 +176,10 @@ type PopulationConfig struct {
 	// RampUp spreads the browser start times over this window instead of
 	// starting all at once.
 	RampUp simclock.Duration
+	// IDPrefix overrides the prefix of the browser identifiers (the region
+	// name when empty).  Deployments that split one region's clients across
+	// several engine shards use it to keep browser IDs unique per shard.
+	IDPrefix string
 }
 
 // Population is a set of emulated browsers attached to one region.
@@ -191,9 +195,13 @@ func NewPopulation(cfg PopulationConfig, rng *simclock.RNG, target Dispatcher, m
 		cfg.Mix = BrowsingMix()
 	}
 	p := &Population{cfg: cfg}
+	prefix := cfg.IDPrefix
+	if prefix == "" {
+		prefix = cfg.Region
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		bc := BrowserConfig{
-			ID:            fmt.Sprintf("%s-eb%03d", cfg.Region, i+1),
+			ID:            fmt.Sprintf("%s-eb%03d", prefix, i+1),
 			Region:        cfg.Region,
 			Mix:           cfg.Mix,
 			ThinkTimeMean: cfg.ThinkTimeMean,
@@ -376,6 +384,33 @@ func (m *Metrics) record(region string, o cloudsim.Outcome) {
 func (m *Metrics) recordTimeout(region string) {
 	m.region(region).timeouts++
 	m.global.timeouts++
+}
+
+// Merge folds another metrics sink into m: counters add, response-time
+// moments combine exactly via Welford's parallel update.  Deployments that
+// keep one sink per engine shard (so recording stays shard-local and
+// lock-free) fold the shards in shard-index order at read time — the fixed
+// fold order is what keeps the merged floating-point moments
+// bit-reproducible for any goroutine interleaving.
+func (m *Metrics) Merge(src *Metrics) {
+	if src == nil {
+		return
+	}
+	for name, rm := range src.perRegion {
+		dst := m.region(name)
+		dst.issued += rm.issued
+		dst.completed += rm.completed
+		dst.dropped += rm.dropped
+		dst.timeouts += rm.timeouts
+		dst.slaMiss += rm.slaMiss
+		dst.resp.Merge(rm.resp)
+	}
+	m.global.issued += src.global.issued
+	m.global.completed += src.global.completed
+	m.global.dropped += src.global.dropped
+	m.global.timeouts += src.global.timeouts
+	m.global.slaMiss += src.global.slaMiss
+	m.global.resp.Merge(src.global.resp)
 }
 
 // Issued returns the number of requests issued by clients of the region ("" =
