@@ -1,0 +1,47 @@
+// Global-traffic-director benchmarks: the global-failover scenario — 256
+// global clients routed by the director, three regions, a probe every 15 s
+// and a mid-run region blackout with failover and failback — timed at
+// EventWorkers 1 (inline epochal run) and 4.  On a single core the two are
+// expected to be neutral (the event loop's parallelism only pays off with
+// real cores — the nightly GOMAXPROCS=4 CI job records that); what the
+// bench-regression gate buys here is a lid on the director's own overhead:
+// the probe, the routing-table rebuilds and the per-request Route calls all
+// sit on the request path of every global scenario.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+)
+
+// runGlobalDirectorBench simulates 30 minutes of the global-failover
+// scenario (outage at minute 10, recovery at 20) per iteration.
+func runGlobalDirectorBench(b *testing.B, eventWorkers int) {
+	b.Helper()
+	np, err := experiment.PolicyByKey("policy2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := experiment.BuildScenario("global-failover", 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Horizon = 30 * simclock.Minute
+		sc.EventWorkers = eventWorkers
+		res, err := experiment.Run(sc, np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Eras == 0 || len(res.GSLBTransitions) == 0 {
+			b.Fatalf("degenerate run: eras=%d transitions=%d", res.Eras, len(res.GSLBTransitions))
+		}
+		b.ReportMetric(res.SuccessRatio, "success-ratio")
+	}
+}
+
+func BenchmarkGlobalDirector_1(b *testing.B) { runGlobalDirectorBench(b, 1) }
+func BenchmarkGlobalDirector_4(b *testing.B) { runGlobalDirectorBench(b, 4) }

@@ -10,12 +10,16 @@
 //	acmsim -regions 1,2,3 -clients 288,96,256 -policy policy1 -predictor ml
 //	acmsim -regions 1,3 -clients 200,200 -policy uniform -csv run.csv
 //	acmsim -scenario figure4 -policy policy2       # run a registered scenario
+//	acmsim -scenario global-failover -gslb-policy leastload   # swap the GSLB policy
 //	acmsim -list-scenarios                         # list the registry
 //	acmsim -dump-config scenario.json      # write the assembled scenario
 //	acmsim -config scenario.json           # run a scenario from a JSON file
+//	acmsim -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
+//	       -sweep-csv sweep.csv -journal sweep.journal    # matrix sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/acm"
 	"repro/internal/cloudsim"
 	"repro/internal/experiment"
+	"repro/internal/gslb"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -43,18 +48,37 @@ func main() {
 		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
 		tickWork  = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
 		eventWork = flag.Int("event-workers", -1, "run the sharded event loop with this many shard-loop goroutines (0 forces the serial engine, >= 1 selects the parallel event loop; byte-identical across all values >= 1; -1 keeps each scenario's own setting)")
+		gslbPol   = flag.String("gslb-policy", "", "global-traffic-director routing policy: static, rr, leastload or failover (overrides the scenario's own setting; GSLB deployments always run on the event loop)")
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
 		scenario  = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
 		list      = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
 		dumpPath  = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
+
+		// Matrix-sweep mode (experiment.Matrix): mutually exclusive with the
+		// single-run flags above.
+		scenarios = flag.String("scenarios", "", "comma-separated registered scenarios: run the sweep matrix scenarios x policies x betas x reps instead of a single deployment")
+		policies  = flag.String("policies", "", "comma-separated policy keys for the sweep (the paper's three policies when empty)")
+		betas     = flag.String("betas", "", "comma-separated beta overrides for the sweep (each scenario's own beta when empty)")
+		reps      = flag.Int("reps", 1, "independent replications per sweep cell (seeds derived per replication)")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (GOMAXPROCS when 0)")
+		sweepCSV  = flag.String("sweep-csv", "", "write the sweep summary rows as CSV to this file")
+		sweepJSON = flag.String("sweep-json", "", "write the sweep summary rows as JSON to this file")
+		journal   = flag.String("journal", "", "checkpoint completed sweep jobs to this file; re-running with the same matrix resumes from the missing jobs only")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, name := range experiment.ScenarioNames() {
-			fmt.Printf("%-19s %s\n", name, experiment.ScenarioDescription(name))
+		names := experiment.ScenarioNames()
+		width := 0
+		for _, name := range names {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, name := range names {
+			fmt.Printf("%-*s  %s\n", width, name, experiment.ScenarioDescription(name))
 		}
 		return
 	}
@@ -64,13 +88,63 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if *scenarios != "" {
+		// The sweep defines its own deployments and output; a single-run
+		// flag alongside -scenarios would be silently ignored, so reject it.
+		for _, f := range []string{"scenario", "config", "dump-config", "regions", "clients", "mix",
+			"policy", "predictor", "beta", "interval", "shards", "tick-workers", "event-workers",
+			"gslb-policy", "csv"} {
+			if explicit[f] {
+				fmt.Fprintf(os.Stderr, "acmsim: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
+				os.Exit(1)
+			}
+		}
+		if err := runMatrix(*scenarios, *policies, *betas, *reps, *workers, *seed, *hours, *sweepCSV, *sweepJSON, *journal, explicit); err != nil {
+			fmt.Fprintln(os.Stderr, "acmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, f := range []string{"sweep-csv", "sweep-json", "journal", "betas", "reps", "policies", "workers"} {
+		if explicit[f] {
+			fmt.Fprintf(os.Stderr, "acmsim: -%s only applies to sweeps; pass -scenarios to run one\n", f)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+// runMatrix expands and executes a sweep on the shared pipeline
+// (experiment.RunSweep), printing the summary table and optionally writing
+// CSV/JSON rows, with journal-based checkpoint/resume.
+func runMatrix(scenarioList, policyList, betaList string, reps, workers int, seed uint64, hours float64, sweepCSV, sweepJSON, journalPath string, explicit map[string]bool) error {
+	m := experiment.Matrix{
+		Scenarios:    experiment.ParseList(scenarioList),
+		Policies:     experiment.ParseList(policyList),
+		Replications: reps,
+		BaseSeed:     seed,
+	}
+	if betaList != "" {
+		bs, err := experiment.ParseFloatList(betaList)
+		if err != nil {
+			return err
+		}
+		m.Betas = bs
+	}
+	if explicit["hours"] {
+		m.Horizon = simclock.Duration(hours) * simclock.Hour
+	}
+	opt := experiment.Options{Workers: workers}
+
+	fmt.Printf("sweep: %d jobs (%d scenarios x policies x betas x %d reps)\n", m.Size(), len(m.Scenarios), max(reps, 1))
+	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
+}
+
+func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -200,6 +274,25 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 	if explicit["event-workers"] && eventWorkers >= 0 {
 		scenario.EventWorkers = eventWorkers
 	}
+	// -gslb-policy overrides the global traffic director's routing policy.
+	// The name is validated up front so a typo produces the list of valid
+	// choices, and the scenario must actually carry global traffic —
+	// enabling a director on a purely regional scenario would silently move
+	// it onto the epochal engine and change its pinned bytes for nothing.
+	if gslbPolicy != "" {
+		kind, err := gslb.ParsePolicy(gslbPolicy)
+		if err != nil {
+			return err
+		}
+		global := scenario.GlobalClients > 0
+		for _, a := range scenario.Arrivals {
+			global = global || a.Region == ""
+		}
+		if !scenario.GSLB.Enabled() && !global {
+			return fmt.Errorf("-gslb-policy: scenario %q has no global traffic (no GSLB config, global clients or global arrival streams)", scenario.Name)
+		}
+		scenario.GSLB.Policy = kind
+	}
 	if dumpPath != "" {
 		if err := experiment.SaveScenarioFile(dumpPath, scenario); err != nil {
 			return err
@@ -305,6 +398,20 @@ func printReport(mgr *acm.Manager) {
 		for _, name := range mgr.RegionNames() {
 			for _, s := range shardStats[name] {
 				fmt.Println("  ", s)
+			}
+		}
+	}
+	if d := mgr.Director(); d != nil {
+		fmt.Printf("global traffic director: policy=%s probes=%d\n", d.Config().Policy, d.Probes())
+		routed := mgr.GSLBRouted()
+		states := d.States()
+		for i, name := range mgr.RegionNames() {
+			fmt.Printf("   %s: routed=%d health=%s\n", name, routed[name], states[i])
+		}
+		if trans := mgr.GSLBTransitions(); len(trans) > 0 {
+			fmt.Println("   health transitions:")
+			for _, t := range trans {
+				fmt.Println("    ", t)
 			}
 		}
 	}

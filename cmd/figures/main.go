@@ -16,6 +16,8 @@
 //	figures -ablation homogeneous          # Policy 1 on homogeneous regions
 //	figures -ablation predictor            # oracle vs. trained F2PM predictor
 //	figures -ablation elasticity           # ADDVMS under a workload surge
+//	figures -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
+//	        -sweep-csv sweep.csv -journal sweep.journal   # matrix sweep
 package main
 
 import (
@@ -41,13 +43,71 @@ func main() {
 		horizon  = flag.Float64("horizon", 2, "simulated hours per run")
 		csvDir   = flag.String("csv", "", "directory to write the raw time series as CSV files")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any worker count)")
+
+		// Matrix-sweep mode (experiment.Matrix).
+		scenarios = flag.String("scenarios", "", "comma-separated registered scenarios: run the sweep matrix scenarios x policies x betas x reps")
+		policies  = flag.String("policies", "", "comma-separated policy keys for the sweep (the paper's three when empty)")
+		betas     = flag.String("betas", "", "comma-separated beta overrides for the sweep (each scenario's own beta when empty)")
+		reps      = flag.Int("reps", 1, "independent replications per sweep cell (seeds derived per replication)")
+		sweepCSV  = flag.String("sweep-csv", "", "write the sweep summary rows as CSV to this file")
+		sweepJSON = flag.String("sweep-json", "", "write the sweep summary rows as JSON to this file")
+		journal   = flag.String("journal", "", "checkpoint completed sweep jobs to this file; re-running with the same matrix resumes from the missing jobs only")
 	)
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *scenarios != "" {
+		// The sweep defines its own scenarios and output; a figure/ablation
+		// flag alongside -scenarios would be silently ignored, so reject it.
+		for _, f := range []string{"figure", "ablation", "summary", "csv", "policy"} {
+			if explicit[f] {
+				fmt.Fprintf(os.Stderr, "figures: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
+				os.Exit(1)
+			}
+		}
+		if err := runMatrix(*scenarios, *policies, *betas, *reps, *workers, *seed, *horizon, *sweepCSV, *sweepJSON, *journal); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, f := range []string{"sweep-csv", "sweep-json", "journal", "betas", "reps", "policies"} {
+		if explicit[f] {
+			fmt.Fprintf(os.Stderr, "figures: -%s only applies to sweeps; pass -scenarios to run one\n", f)
+			os.Exit(1)
+		}
+	}
 
 	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+// runMatrix executes a sweep over registered scenarios on the shared
+// pipeline (experiment.RunSweep), with checkpointed resume and CSV/JSON row
+// output.
+func runMatrix(scenarioList, policyList, betaList string, reps, workers int, seed uint64, horizonHours float64, sweepCSV, sweepJSON, journalPath string) error {
+	m := experiment.Matrix{
+		Scenarios:    experiment.ParseList(scenarioList),
+		Policies:     experiment.ParseList(policyList),
+		Replications: reps,
+		BaseSeed:     seed,
+		Horizon:      simclock.Duration(horizonHours) * simclock.Hour,
+	}
+	if betaList != "" {
+		bs, err := experiment.ParseFloatList(betaList)
+		if err != nil {
+			return err
+		}
+		m.Betas = bs
+	}
+	opt := experiment.Options{Workers: workers}
+
+	fmt.Printf("sweep: %d jobs (%d workers)\n", m.Size(), opt.Workers)
+	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
 }
 
 func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string, workers int) error {

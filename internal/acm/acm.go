@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/f2pm"
+	"repro/internal/gslb"
 	"repro/internal/overlay"
 	"repro/internal/pcam"
 	"repro/internal/simclock"
@@ -107,6 +108,28 @@ type Config struct {
 	// delivered at epoch barriers; periodic controllers still fire at their
 	// exact timestamps.
 	EventEpoch simclock.Duration
+	// GSLB enables the global traffic director: a gslb.Director sits between
+	// globally attached client populations and the regions, routing each
+	// request according to the configured policy and a health probe sampled
+	// on the control timeline.  The zero value disables it.  A GSLB
+	// deployment always runs on the sharded event loop (global routing
+	// crosses region sub-engines), so EventWorkers = 0 is promoted to 1 —
+	// the inline epochal run with identical bytes.
+	GSLB gslb.Config
+	// GlobalClients is the number of emulated browsers attached to the
+	// director instead of a fixed region; their requests enter whichever
+	// region the routing policy picks.  Requires GSLB to be enabled.
+	GlobalClients int
+	// GlobalMix is the interaction mix of the global clients (browsing when
+	// zero-valued).
+	GlobalMix workload.Mix
+	// Arrivals lists open-loop (optionally time-varying, inhomogeneous-
+	// Poisson) request streams: pinned to one region's entry load balancer
+	// when Region is set, attached to the director otherwise.
+	Arrivals []ArrivalSetup
+	// Faults is the scripted region-outage schedule (see RegionFault), the
+	// stimulus the director's health-driven failover responds to.
+	Faults []RegionFault
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +157,12 @@ func (c Config) withDefaults() Config {
 	if c.EventWorkers < 0 {
 		c.EventWorkers = 0
 	}
+	if c.GSLB.Enabled() && c.EventWorkers == 0 {
+		// Global routing crosses region sub-engines, so a GSLB deployment
+		// always runs on the epochal engine; 0 selects the inline (1-worker)
+		// run, whose bytes are identical to every other worker count.
+		c.EventWorkers = 1
+	}
 	if c.EventWorkers > 0 && c.EventEpoch <= 0 {
 		c.EventEpoch = simclock.DefaultEpoch
 	}
@@ -160,9 +189,13 @@ type Manager struct {
 	plan        *core.ForwardPlan
 	recorder    *trace.Recorder
 	models      map[string]*f2pm.Model // per instance type, when PredictorML
+	director    *gslb.Director         // non-nil when GSLB is enabled
+	arrivals    []*workload.VaryingOpenLoop
+	stopProbe   func()
 
 	// interval accounting for λ, entry shares and the response-time series
 	prevIssued    map[string]uint64
+	prevIssuedAll uint64
 	prevCompleted uint64
 	prevRespTotal float64
 
@@ -263,6 +296,22 @@ func NewManager(cfg Config) (*Manager, error) {
 	m.regionIndex = map[string]int{}
 	for i, name := range names {
 		m.regionIndex[name] = i
+	}
+
+	// Global-traffic wiring: validate the global/fault configuration and
+	// build the traffic director.  The per-lane global populations and
+	// arrival streams are assembled with the event loop below; a serial
+	// deployment (no GSLB) only ever carries region-pinned streams.
+	if err := m.validateGlobal(); err != nil {
+		return nil, err
+	}
+	if err := m.buildDirector(); err != nil {
+		return nil, err
+	}
+	if cfg.EventWorkers == 0 {
+		if err := m.buildSerialArrivals(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Overlay + leader election among the controllers.
@@ -512,7 +561,12 @@ func (m *Manager) Start() {
 				m.eng.ScheduleFunc(m.surgeAt[name], func(e *simclock.Engine) { surge.Start(e) })
 			}
 		}
+		for _, gen := range m.arrivals {
+			gen.Start(m.eng)
+		}
 	}
+	m.startDirector()
+	m.scheduleFaults()
 	m.stopLoop = m.eng.Ticker(m.cfg.ControlInterval, func(eng *simclock.Engine) { m.controlEra(eng) })
 }
 
@@ -529,6 +583,13 @@ func (m *Manager) Stop() {
 			}
 			m.vmcs[name].Stop()
 		}
+		for _, gen := range m.arrivals {
+			gen.Stop()
+		}
+	}
+	if m.stopProbe != nil {
+		m.stopProbe()
+		m.stopProbe = nil
 	}
 	if m.stopLoop != nil {
 		m.stopLoop()
@@ -620,25 +681,66 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	m.recorder.Record("response_time", "all_clients", now, respMean)
 	m.recorder.Record("lambda", "global", now, lambda)
 	m.recorder.Record("cross_region", "fraction", now, m.plan.CrossRegionFraction())
+
+	// GSLB series: per-region health state and cumulative routed requests,
+	// sampled on the same control-era grid as the paper series.  The routed
+	// counts are what the global-failover golden pins the drain/failback
+	// story on: the faulted region's series flattens during the outage while
+	// the backup's keeps climbing.
+	if m.director != nil {
+		states := m.director.States()
+		routed := m.GSLBRouted()
+		for i, name := range m.regionNames {
+			m.recorder.Record("gslb_health", name, now, float64(states[i]))
+			m.recorder.Record("gslb_routed", name, now, float64(routed[name]))
+		}
+	}
 }
 
 // intervalArrivals returns the global request rate and per-region entry
-// shares observed since the previous control era.
+// shares observed since the previous control era.  λ is measured from the
+// all-clients issued counter, so globally attached populations and arrival
+// streams count towards the rate the policies see.  The entry shares count
+// exactly the traffic that rides the forward plan: each region's own
+// browsers plus the arrival streams pinned to that region's entry load
+// balancer (their metrics carry the stream's label, so their issued
+// counters are folded into the pinned region here); director-routed
+// traffic bypasses the plan and stays out of the shares.  For purely
+// regional deployments every counter below is the same sum as before, so
+// the accounting is byte-invisible there.
 func (m *Manager) intervalArrivals(met *workload.Metrics) (lambda float64, entry []float64) {
 	interval := m.cfg.ControlInterval.Seconds()
-	totalNew := uint64(0)
+	regionNew := uint64(0)
 	entry = make([]float64, len(m.regionNames))
 	for i, name := range m.regionNames {
 		iss := met.Issued(name)
 		diff := iss - m.prevIssued[name]
 		m.prevIssued[name] = iss
 		entry[i] = float64(diff)
-		totalNew += diff
+		regionNew += diff
+	}
+	for _, a := range m.cfg.Arrivals {
+		if a.Region == "" {
+			continue
+		}
+		iss := met.Issued(a.Name)
+		diff := iss - m.prevIssued[a.Name]
+		m.prevIssued[a.Name] = iss
+		entry[m.regionIndex[a.Region]] += float64(diff)
+		regionNew += diff
+	}
+	issuedAll := met.Issued("")
+	totalNew := issuedAll - m.prevIssuedAll
+	m.prevIssuedAll = issuedAll
+	if regionNew == 0 {
+		entry = m.entrySharesFromClients()
+	} else {
+		entry = core.Normalize(entry)
 	}
 	if totalNew == 0 {
-		return 0, m.entrySharesFromClients()
+		return 0, entry
 	}
-	return float64(totalNew) / interval, core.Normalize(entry)
+	return float64(totalNew) / interval, entry
 }
 
 // intervalResponseTime returns the mean client response time over the last

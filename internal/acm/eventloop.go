@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/core"
+	"repro/internal/gslb"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -58,6 +59,24 @@ type eventLoop struct {
 	// loop is idle), so shard goroutines read their own slot without
 	// synchronisation.
 	plans []*core.ForwardPlan
+
+	// Global-traffic-director state (nil/empty when GSLB is disabled).
+	// gslbTables[g] is lane g's snapshot of the director's routing table,
+	// republished at probe ticks (control timeline, epoch barriers) exactly
+	// like the forward-plan snapshots; gslbRouted[g][r] counts the requests
+	// lane g's dispatcher routed to region r; gslbDisp[g] is lane g's
+	// director-facing dispatcher, shared by the lane's global browsers and
+	// arrival streams so their routing draws interleave on one lane-local
+	// RNG stream.
+	gslbTables []*gslb.Table
+	gslbRouted [][]uint64
+	gslbDisp   []workload.Dispatcher
+	globalPops []*workload.Population
+
+	// Open-loop arrival streams (global or region-pinned) and the lane
+	// engine each one runs on.
+	varying     []*workload.VaryingOpenLoop
+	varyingLane []int
 }
 
 // newEventLoop assembles the sharded event loop for a fully built Manager
@@ -95,7 +114,121 @@ func newEventLoop(m *Manager) *eventLoop {
 			el.surge[r] = el.buildPopulations(r, rs, rs.SurgeClients, m.cfg.Seed+uint64(r)*7919+271)
 		}
 	}
+	el.buildGlobalTraffic()
 	return el
+}
+
+// buildGlobalTraffic assembles the director-facing lanes: per-lane routing
+// snapshots and dispatchers, the global client population split across every
+// lane, and the open-loop arrival streams (global ones route through the
+// lane dispatcher, region-pinned ones through that region's plan
+// dispatcher).
+func (el *eventLoop) buildGlobalTraffic() {
+	m := el.mgr
+	if m.director != nil {
+		el.gslbTables = make([]*gslb.Table, el.total)
+		el.gslbRouted = make([][]uint64, el.total)
+		el.gslbDisp = make([]workload.Dispatcher, el.total)
+		initial := m.director.Table()
+		for g := 0; g < el.total; g++ {
+			el.gslbTables[g] = initial
+			el.gslbRouted[g] = make([]uint64, len(m.regions))
+			el.gslbDisp[g] = el.gslbDispatcher(g)
+		}
+		if m.cfg.GlobalClients > 0 {
+			el.globalPops = make([]*workload.Population, el.total)
+			seedBase := m.cfg.Seed ^ hashString("gslb-clients")
+			for g := 0; g < el.total; g++ {
+				el.globalPops[g] = workload.NewPopulation(workload.PopulationConfig{
+					Region:        "global",
+					IDPrefix:      fmt.Sprintf("global/s%02d", g),
+					Clients:       splitClients(m.cfg.GlobalClients, el.total, g),
+					Mix:           m.cfg.GlobalMix,
+					ThinkTimeMean: m.cfg.ThinkTime,
+					Timeout:       m.cfg.RequestTimeout,
+					RampUp:        m.cfg.ControlInterval / 2,
+				}, simclock.NewStreamRNG(seedBase, uint64(g)), el.gslbDisp[g], el.metrics[g])
+			}
+		}
+	}
+	for i, a := range m.cfg.Arrivals {
+		var lane int
+		var target workload.Dispatcher
+		if a.Region == "" {
+			// Global stream: spread streams across lanes round-robin and
+			// route through the lane's director dispatcher.
+			lane = i % el.total
+			target = el.gslbDisp[lane]
+		} else {
+			// Region-pinned stream: one of the region's own lanes, entering
+			// through its plan dispatcher like the region's browsers.
+			r := m.regionIndex[a.Region]
+			s := i % len(el.engines[r])
+			lane = el.base[r] + s
+			target = el.dispatcher(r, s)
+		}
+		gen, err := workload.NewVaryingOpenLoop(workload.VaryingOpenLoopConfig{
+			Region: a.Name,
+			Rate:   a.Rate,
+			Mix:    a.Mix,
+		}, simclock.NewStreamRNG(m.cfg.Seed^hashString("arrivals"), uint64(i)), target, el.metrics[lane])
+		if err != nil {
+			// The rate spec was validated in NewManager; reaching this means
+			// a programming error, not a configuration one.
+			panic(err)
+		}
+		el.varying = append(el.varying, gen)
+		el.varyingLane = append(el.varyingLane, lane)
+	}
+}
+
+// gslbDispatcher returns lane g's director-facing entry point: the routing
+// table snapshot picks the destination region, a lane-local RNG stream picks
+// the destination shard, and cross-lane submissions ride the mailbox with
+// the completion re-homed to this lane — exactly the discipline the
+// plan-forwarding dispatcher follows, so byte-identical output for every
+// worker count is preserved.
+func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
+	m := el.mgr
+	rng := simclock.NewStreamRNG(m.cfg.Seed^hashString("gslb-route"), uint64(g))
+	rr := uint64(g) // stagger each lane's round-robin start
+	return workload.DispatcherFunc(func(eng *simclock.Engine, req *cloudsim.Request) {
+		ri := el.gslbTables[g].Route(rng, &rr)
+		el.gslbRouted[g][ri]++
+		dvmc := m.vmcs[m.regionNames[ri]]
+		ds := 0
+		if n := len(el.engines[ri]); n > 1 {
+			ds = rng.Intn(n)
+		}
+		dg := el.base[ri] + ds
+		if dg == g {
+			dvmc.SubmitShard(eng, ds, req)
+			return
+		}
+		req.RehomeOnDone(el.se, g, nil)
+		el.se.Post(eng, dg, func(dst *simclock.Engine) { dvmc.SubmitShard(dst, ds, req) })
+	})
+}
+
+// installGSLBTable republishes a fresh routing-table snapshot to every
+// lane's slot.  Called from the director's probe tick on the control
+// timeline, i.e. at an epoch barrier while every shard loop is idle.
+func (el *eventLoop) installGSLBTable(t *gslb.Table) {
+	for g := range el.gslbTables {
+		el.gslbTables[g] = t
+	}
+}
+
+// mergedGSLBRouted folds the per-lane routed counters in lane order,
+// returning per-region totals in deployment order.
+func (el *eventLoop) mergedGSLBRouted() []uint64 {
+	out := make([]uint64, len(el.mgr.regions))
+	for g := range el.gslbRouted {
+		for r, n := range el.gslbRouted[g] {
+			out[r] += n
+		}
+	}
+	return out
 }
 
 // splitClients spreads count clients across n shards: shard s receives
@@ -203,6 +336,12 @@ func (el *eventLoop) start() {
 			eng.ScheduleFunc(m.cfg.Regions[r].SurgeAt, func(e *simclock.Engine) { pop.Start(e) })
 		}
 	}
+	for g, pop := range el.globalPops {
+		pop.Start(el.se.Shard(g))
+	}
+	for i, gen := range el.varying {
+		gen.Start(el.se.Shard(el.varyingLane[i]))
+	}
 }
 
 // stop halts every population and controller.
@@ -216,6 +355,12 @@ func (el *eventLoop) stop() {
 			pop.Stop()
 		}
 		m.vmcs[name].Stop()
+	}
+	for _, pop := range el.globalPops {
+		pop.Stop()
+	}
+	for _, gen := range el.varying {
+		gen.Stop()
 	}
 }
 

@@ -1,0 +1,219 @@
+// Global-traffic-director wiring of a deployment: the Manager seam that
+// attaches client populations and open-loop arrival streams *globally* —
+// to a gslb.Director that picks the serving region per request — instead of
+// pinning them to one region, plus the scripted region-outage schedule that
+// gives the director's health-driven failover something to react to.
+//
+// Determinism: a GSLB deployment always runs on the sharded event loop
+// (Config.withDefaults promotes EventWorkers 0 -> 1), because global routing
+// crosses region sub-engines and therefore must ride the mailbox machinery.
+// The director's probe runs on the control timeline; each lane's dispatcher
+// reads an immutable routing-table snapshot republished at epoch barriers
+// and owns its RNG/rotation state, so the output is byte-identical for every
+// EventWorkers value — 0 and 1 select the same inline epochal run.
+package acm
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim"
+	"repro/internal/gslb"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// ArrivalSetup attaches one open-loop request stream to the deployment.
+type ArrivalSetup struct {
+	// Name labels the stream ("americas"); it becomes the metrics label and
+	// the EntryRegion of the stream's requests.
+	Name string
+	// Rate is the (possibly time-varying) arrival rate.
+	Rate workload.RateSpec
+	// Mix is the interaction mix (browsing when zero-valued).
+	Mix workload.Mix
+	// Region optionally pins the stream to one region's entry load balancer
+	// (riding the global forward plan like that region's browsers).  Empty
+	// attaches the stream to the global traffic director, which requires
+	// Config.GSLB to be enabled.
+	Region string
+}
+
+// RegionFault scripts one region outage for failover experiments: at time At
+// the region's controller target is forced down to KeepActive ACTIVE VMs
+// (the excess deactivates immediately, in-flight requests drain), and after
+// Duration the previous target is restored so the next control tick
+// repromotes the pool.  KeepActive = 0 blacks the region out completely.
+type RegionFault struct {
+	// Region names the region to fault.
+	Region string
+	// At is when the outage starts.
+	At simclock.Duration
+	// Duration is how long the outage lasts; zero makes it permanent.
+	Duration simclock.Duration
+	// KeepActive is the number of ACTIVE VMs left during the outage.
+	KeepActive int
+}
+
+// validateGlobal rejects configurations the global-traffic wiring cannot
+// realise, with errors that name the offending field.
+func (m *Manager) validateGlobal() error {
+	cfg := m.cfg
+	if cfg.GlobalClients < 0 {
+		return fmt.Errorf("acm: GlobalClients must be >= 0, got %d", cfg.GlobalClients)
+	}
+	if cfg.GlobalClients > 0 && !cfg.GSLB.Enabled() {
+		return fmt.Errorf("acm: %d global clients but no GSLB policy configured", cfg.GlobalClients)
+	}
+	seen := map[string]bool{}
+	for i, a := range cfg.Arrivals {
+		if a.Name == "" {
+			return fmt.Errorf("acm: arrival stream %d has no name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("acm: arrival stream %q listed twice", a.Name)
+		}
+		seen[a.Name] = true
+		// The name doubles as the stream's metrics label: colliding with a
+		// region name would fold the stream's counters into that region's
+		// entry-share accounting, and "global" is the global browsers' label.
+		if _, taken := m.regionIndex[a.Name]; taken || a.Name == "global" {
+			return fmt.Errorf("acm: arrival stream name %q collides with a region/global metrics label", a.Name)
+		}
+		if err := a.Rate.Validate(); err != nil {
+			return fmt.Errorf("acm: arrival stream %q: %w", a.Name, err)
+		}
+		if a.Region == "" {
+			if !cfg.GSLB.Enabled() {
+				return fmt.Errorf("acm: arrival stream %q attaches globally but no GSLB policy is configured", a.Name)
+			}
+		} else if _, ok := m.regionIndex[a.Region]; !ok {
+			return fmt.Errorf("acm: arrival stream %q pinned to unknown region %q", a.Name, a.Region)
+		}
+	}
+	for i, f := range cfg.Faults {
+		if _, ok := m.vmcs[f.Region]; !ok {
+			return fmt.Errorf("acm: fault %d names unknown region %q", i, f.Region)
+		}
+		if f.At < 0 || f.Duration < 0 || f.KeepActive < 0 {
+			return fmt.Errorf("acm: fault %d for %s has negative At/Duration/KeepActive", i, f.Region)
+		}
+		// Overlapping outages on one region would interleave their
+		// force/restore pairs: the earlier fault's restore would end the
+		// later outage early and the later restore would reinstate a stale
+		// target.  Back-to-back faults (one starting the instant the other
+		// restores) are rejected too — the engine's same-timestamp FIFO
+		// order would run the second force before the first restore.
+		for j, g := range cfg.Faults[:i] {
+			if g.Region != f.Region {
+				continue
+			}
+			first, second := g, f
+			if second.At < first.At {
+				first, second = second, first
+			}
+			if first.Duration == 0 || second.At <= first.At+first.Duration {
+				return fmt.Errorf("acm: faults %d and %d overlap on region %s (a permanent fault conflicts with any later one)", j, i, f.Region)
+			}
+		}
+	}
+	return nil
+}
+
+// buildDirector assembles the gslb.Director over the deployment's regions,
+// probing each region's live telemetry.
+func (m *Manager) buildDirector() error {
+	if !m.cfg.GSLB.Enabled() {
+		return nil
+	}
+	d, err := gslb.NewDirector(m.cfg.GSLB, m.regionNames, func(i int) cloudsim.Telemetry {
+		return m.regions[i].Telemetry()
+	})
+	if err != nil {
+		return fmt.Errorf("acm: %w", err)
+	}
+	m.director = d
+	return nil
+}
+
+// startDirector installs the health-probe ticker on the control timeline:
+// each tick samples every region, advances the failover state machine and
+// republishes the routing-table snapshot to every lane while the shard
+// loops are idle.
+func (m *Manager) startDirector() {
+	if m.director == nil {
+		return
+	}
+	m.stopProbe = m.eng.Ticker(m.director.Config().ProbeInterval, func(eng *simclock.Engine) {
+		table := m.director.Tick(eng.Now())
+		if m.el != nil {
+			m.el.installGSLBTable(table)
+		}
+	})
+}
+
+// scheduleFaults arms the scripted region outages on the control timeline.
+func (m *Manager) scheduleFaults() {
+	for _, f := range m.cfg.Faults {
+		f := f
+		vmc := m.vmcs[f.Region]
+		m.eng.ScheduleFunc(f.At, func(e *simclock.Engine) {
+			restore := vmc.ForceTargetActive(f.KeepActive)
+			if f.Duration > 0 {
+				e.ScheduleFunc(f.Duration, func(*simclock.Engine) {
+					vmc.RestoreTargetActive(restore)
+				})
+			}
+		})
+	}
+}
+
+// buildSerialArrivals constructs the region-pinned arrival streams of a
+// serial-engine deployment (global streams require the event loop, which
+// GSLB deployments always use).
+func (m *Manager) buildSerialArrivals() error {
+	for i, a := range m.cfg.Arrivals {
+		gen, err := workload.NewVaryingOpenLoop(workload.VaryingOpenLoopConfig{
+			Region: a.Name,
+			Rate:   a.Rate,
+			Mix:    a.Mix,
+		}, simclock.NewStreamRNG(m.cfg.Seed^hashString("arrivals"), uint64(i)), m.entryDispatcher(a.Region), m.metrics)
+		if err != nil {
+			return fmt.Errorf("acm: arrival stream %q: %w", a.Name, err)
+		}
+		m.arrivals = append(m.arrivals, gen)
+	}
+	return nil
+}
+
+// Director returns the global traffic director (nil when GSLB is disabled).
+func (m *Manager) Director() *gslb.Director { return m.director }
+
+// GSLBRouted returns how many requests the director routed to each region,
+// keyed by region name (nil when GSLB is disabled).  On the event loop the
+// per-lane counters are folded in lane order.
+func (m *Manager) GSLBRouted() map[string]uint64 {
+	if m.director == nil {
+		return nil
+	}
+	out := map[string]uint64{}
+	totals := m.el.mergedGSLBRouted()
+	for i, name := range m.regionNames {
+		out[name] = totals[i]
+	}
+	return out
+}
+
+// GSLBTransitions returns the director's health-state transitions rendered
+// one per line ("t=630s region1 degraded->drained"), in probe order — the
+// drain/failover/failback record the scenario goldens pin.
+func (m *Manager) GSLBTransitions() []string {
+	if m.director == nil {
+		return nil
+	}
+	trans := m.director.Transitions()
+	out := make([]string, len(trans))
+	for i, t := range trans {
+		out[i] = t.String()
+	}
+	return out
+}

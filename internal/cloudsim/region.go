@@ -265,6 +265,40 @@ func (r *Region) Stats() Stats {
 	return s
 }
 
+// Telemetry is the health-probe view of a region: the signals a global
+// traffic director samples when deciding whether the region should keep
+// receiving traffic.  Served/Dropped are lifetime counters; probes diff them
+// across samples to obtain interval error rates.
+type Telemetry struct {
+	// Region names the region.
+	Region string
+	// ActiveVMs is the number of VMs currently serving requests.
+	ActiveVMs int
+	// BaselineActive is the configured initial ACTIVE pool — the denominator
+	// of the active-capacity fraction a probe thresholds on.
+	BaselineActive int
+	// Capacity is the aggregate healthy-state service capacity of the ACTIVE
+	// VMs in requests per second (see ComputeCapacity).
+	Capacity float64
+	// Served and Dropped are the lifetime request counters of the region's
+	// VMs.
+	Served  uint64
+	Dropped uint64
+}
+
+// Telemetry returns the probe snapshot of the region's current state.
+func (r *Region) Telemetry() Telemetry {
+	st := r.Stats()
+	return Telemetry{
+		Region:         r.cfg.Name,
+		ActiveVMs:      st.Active,
+		BaselineActive: r.cfg.InitialActive,
+		Capacity:       r.ComputeCapacity(),
+		Served:         st.Served,
+		Dropped:        st.Dropped,
+	}
+}
+
 // String renders the stats on one line.
 func (s Stats) String() string {
 	return fmt.Sprintf("%s: vms=%d active=%d standby=%d failed=%d rejuv=%d served=%d dropped=%d crashes=%d",

@@ -1,0 +1,286 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/gslb"
+	"repro/internal/simclock"
+)
+
+// The global-traffic-director suite: the global-* scenarios route traffic
+// between regions through a gslb.Director, and their output must be
+// byte-identical for EventWorkers {0, 1, 4, GOMAXPROCS} — 0 is promoted to
+// the inline epochal run by acm.Config, so the whole range shares one
+// engine and one byte stream.  The goldens additionally pin the per-region
+// routed counts and the health-transition log, which is where the
+// drain/failover/failback story is directly assertable.
+
+// globalScenarioNames lists every registered global-* scenario.
+func globalScenarioNames() []string {
+	return []string{"global-failover", "global-leastload", "global-diurnal"}
+}
+
+// TestGlobalScenarioSmoke: cheap always-on canary — every global scenario
+// builds, runs a few minutes, serves traffic and completes control eras.
+func TestGlobalScenarioSmoke(t *testing.T) {
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range globalScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := BuildScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Horizon = 5 * simclock.Minute
+			res, err := Run(sc, np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Eras == 0 {
+				t.Fatal("no control eras completed")
+			}
+			if res.GSLBRouted == nil {
+				t.Fatal("no GSLB routed counts recorded")
+			}
+			total := uint64(0)
+			for _, n := range res.GSLBRouted {
+				total += n
+			}
+			if total == 0 {
+				t.Fatal("director routed no requests")
+			}
+			if res.SuccessRatio < 0.5 {
+				t.Fatalf("success ratio %.3f, want >= 0.5", res.SuccessRatio)
+			}
+		})
+	}
+}
+
+// TestGlobalGSLBWorkersEquivalence is the GSLB determinism contract:
+// byte-identical output (summary, routed counts, transition log and the
+// SHA-256 of every raw series) across EventWorkers 0, 1, 4 and GOMAXPROCS,
+// for every global scenario.  The CI multicore-determinism job replays it
+// with GOMAXPROCS=4 under -race, where the shard loops genuinely run on
+// distinct cores.
+func TestGlobalGSLBWorkersEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every global scenario once per worker count")
+	}
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{0, 1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, name := range globalScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) []byte {
+				sc, err := BuildScenario(name, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Horizon = goldenHorizon
+				sc.EventWorkers = workers
+				res, err := Run(sc, np)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eventLoopFingerprint(t, res)
+			}
+			ref := run(counts[0])
+			for _, workers := range counts[1:] {
+				if got := run(workers); !bytes.Equal(got, ref) {
+					t.Fatalf("EventWorkers=%d diverged from EventWorkers=%d\n--- got ---\n%s\n--- want ---\n%s",
+						workers, counts[0], got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestGlobalGSLBPolicyEquivalence re-runs one scenario with each routing
+// policy swapped in, at EventWorkers 1 vs GOMAXPROCS: the equivalence must
+// hold for every policy, not just the ones the scenarios ship with (the
+// round-robin cursor and the weighted RNG draws are the lane-local state the
+// contract depends on).
+func TestGlobalGSLBPolicyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one scenario per routing policy per worker count")
+	}
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range gslb.PolicyKinds() {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			run := func(workers int) []byte {
+				sc, err := BuildScenario("global-leastload", 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Horizon = 10 * simclock.Minute
+				sc.EventWorkers = workers
+				sc.GSLB.Policy = pol
+				res, err := Run(sc, np)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eventLoopFingerprint(t, res)
+			}
+			ref := run(1)
+			if got := run(runtime.GOMAXPROCS(0)); !bytes.Equal(got, ref) {
+				t.Fatalf("policy %s diverged between EventWorkers 1 and GOMAXPROCS", pol)
+			}
+		})
+	}
+}
+
+// TestGlobalFailoverDrainAndFailback asserts the failover story end to end
+// on the real deployment: the faulted region drains after the outage,
+// traffic fails over to the next preference, the region recovers and
+// traffic fails back — visible in both the transition log and the
+// per-region routed counts.
+func TestGlobalFailoverDrainAndFailback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 30-minute failover simulation")
+	}
+	sc, err := BuildScenario("global-failover", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Horizon = goldenHorizon
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The transition log must show the full drain -> failback cycle for the
+	// faulted region, in order.
+	wantOrder := []string{"healthy->degraded", "degraded->drained", "drained->recovering", "recovering->healthy"}
+	var r1 []string
+	for _, tr := range res.GSLBTransitions {
+		if strings.Contains(tr, "region1 ") {
+			r1 = append(r1, tr)
+		}
+	}
+	if len(r1) != len(wantOrder) {
+		t.Fatalf("region1 transitions = %v, want the 4-step drain/failback cycle", r1)
+	}
+	for i, want := range wantOrder {
+		if !strings.Contains(r1[i], want) {
+			t.Fatalf("region1 transition %d = %q, want %q", i, r1[i], want)
+		}
+	}
+
+	// Routed counts: region1 (preferred) carries the bulk, region2 carries
+	// the failover window, region3 (last preference) never serves.
+	if res.GSLBRouted["region2"] == 0 {
+		t.Fatal("backup region2 received no failover traffic")
+	}
+	if res.GSLBRouted["region3"] != 0 {
+		t.Fatalf("region3 received %d requests; failover should stop at region2", res.GSLBRouted["region3"])
+	}
+	if res.GSLBRouted["region1"] <= res.GSLBRouted["region2"] {
+		t.Fatalf("preferred region1 (%d) should out-serve the backup (%d) over the full run",
+			res.GSLBRouted["region1"], res.GSLBRouted["region2"])
+	}
+
+	// Even across a full regional blackout the deployment keeps serving:
+	// the drops are confined to the window before the drain debounce fires.
+	// (The exact request conservation — every routed request completes
+	// exactly once — is the gslb package's property test.)
+	if res.SuccessRatio < 0.8 {
+		t.Fatalf("success ratio %.3f after failover, want >= 0.8", res.SuccessRatio)
+	}
+}
+
+// TestGoldenGlobalScenarios byte-pins every global scenario under policy2 —
+// summary, routed counts, transition log and the SHA-256 of the raw series
+// (which include the gslb_health / gslb_routed sets).  Regenerate with:
+//
+//	go test ./internal/experiment -run TestGoldenGlobal -update
+func TestGoldenGlobalScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three 30-minute global simulations")
+	}
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range globalScenarioNames() {
+		name := name
+		t.Run(name+"/policy2", func(t *testing.T) {
+			sc, err := BuildScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Horizon = goldenHorizon
+			res, err := Run(sc, np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := eventLoopFingerprint(t, res)
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-policy2.json", name))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("summary drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGSLBScenarioJSONRoundTrip: the global scenarios are plain data and
+// must survive the config-file round trip (cmd/acmsim -dump-config /
+// -config), including the nested gslb.Config, rate specs and fault
+// schedule.
+func TestGSLBScenarioJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range globalScenarioNames() {
+		sc, err := BuildScenario(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := SaveScenarioFile(path, sc); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadScenarioFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.GSLB.Policy != sc.GSLB.Policy || back.GlobalClients != sc.GlobalClients ||
+			len(back.Arrivals) != len(sc.Arrivals) || len(back.Faults) != len(sc.Faults) {
+			t.Fatalf("%s: round trip lost GSLB fields: %+v", name, back)
+		}
+	}
+}

@@ -58,6 +58,14 @@ type goldenSummary struct {
 	Crashes                  uint64   `json:"crashes"`
 	FinalFractions           []string `json:"finalFractions"`
 
+	// GSLBRouted and GSLBTransitions pin the global traffic director's
+	// observable behaviour: how many requests each region received from the
+	// director, and the exact health-state transition log (drain, failover,
+	// failback) with control-timeline timestamps.  Both are absent for
+	// scenarios without a director, so pre-GSLB goldens are unchanged.
+	GSLBRouted      map[string]uint64 `json:"gslbRouted,omitempty"`
+	GSLBTransitions []string          `json:"gslbTransitions,omitempty"`
+
 	// SeriesSHA256 hashes every recorded raw series (the full CSV dump), so
 	// the golden pins not just the summary but the entire observable run.
 	SeriesSHA256 string `json:"seriesSHA256"`
@@ -90,6 +98,8 @@ func goldenFromResult(r *Result) (goldenSummary, error) {
 		ProactiveRejuvenations:   r.ProactiveRejuvenations,
 		ReactiveRecoveries:       r.ReactiveRecoveries,
 		Crashes:                  r.Crashes,
+		GSLBRouted:               r.GSLBRouted,
+		GSLBTransitions:          r.GSLBTransitions,
 		SeriesSHA256:             hex.EncodeToString(sum[:]),
 	}
 	for _, f := range r.FinalFractions {

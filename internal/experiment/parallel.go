@@ -30,6 +30,10 @@ type Job struct {
 	// stateful policies (Policy 3's jitter stream) are never shared between
 	// concurrent jobs.
 	Policy NamedPolicy
+	// Rep is the replication index the job was expanded with (0 for jobs
+	// built outside a matrix); sweep rows report it alongside the derived
+	// seed.
+	Rep int
 }
 
 // JobResult couples a job with its outcome.  Err is set when the job's own

@@ -88,6 +88,9 @@ func init() {
 	RegisterScenario("megaregion-parallel", "the 16-shard megaregion with the control tick fanned out to one goroutine per shard", MegaregionParallelScenario)
 	RegisterScenario("megaregion-eventloop", "the 16-shard megaregion with the event loop itself fanned out: one sub-engine per shard, cross-shard mailboxes", MegaregionEventLoopScenario)
 	RegisterScenario("figure4-eventloop", "figure4 with 3-shard regions on the parallel event loop (cross-region forwarding through mailboxes)", Figure4EventLoopScenario)
+	RegisterScenario("global-failover", "global clients on the director's failover policy; a scripted outage drains region1, traffic fails over and back", GlobalFailoverScenario)
+	RegisterScenario("global-leastload", "global clients routed by probed region capacity (least-load policy re-weighted every 15 s)", GlobalLeastLoadScenario)
+	RegisterScenario("global-diurnal", "inhomogeneous-Poisson diurnal streams peaking per-region a third of a cycle apart, plus static-weight global clients", GlobalDiurnalScenario)
 }
 
 // Matrix describes a sweep grid over registered scenarios, policies, smoothing
@@ -188,7 +191,7 @@ func (m Matrix) Expand() ([]Job, error) {
 					if reps > 1 {
 						sc.Name = fmt.Sprintf("%s-rep%d", sc.Name, rep)
 					}
-					jobs = append(jobs, Job{Index: len(jobs), Scenario: sc, Policy: np})
+					jobs = append(jobs, Job{Index: len(jobs), Scenario: sc, Policy: np, Rep: rep})
 				}
 			}
 		}

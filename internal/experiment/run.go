@@ -52,6 +52,12 @@ type Result struct {
 
 	// ForwardedFraction is the fraction of requests forwarded across regions.
 	ForwardedFraction float64
+	// GSLBRouted counts the requests the global traffic director routed to
+	// each region, keyed by region name (nil when the scenario has no GSLB).
+	GSLBRouted map[string]uint64
+	// GSLBTransitions is the director's health-transition log, one line per
+	// state change in probe order — the drain/failover/failback record.
+	GSLBTransitions []string
 	// Eras is the number of completed control eras.
 	Eras uint64
 	// ProactiveRejuvenations, ReactiveRecoveries and Crashes aggregate the
@@ -145,6 +151,8 @@ func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
 	if total := mgr.ForwardedRequests() + mgr.LocalRequests(); total > 0 {
 		res.ForwardedFraction = float64(mgr.ForwardedRequests()) / float64(total)
 	}
+	res.GSLBRouted = mgr.GSLBRouted()
+	res.GSLBTransitions = mgr.GSLBTransitions()
 	for _, s := range mgr.VMCStats() {
 		res.ProactiveRejuvenations += s.ProactiveRejuvenations
 		res.ReactiveRecoveries += s.ReactiveRecoveries

@@ -13,6 +13,7 @@ import (
 	"repro/internal/acm"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
+	"repro/internal/gslb"
 	"repro/internal/pcam"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -48,6 +49,20 @@ type Scenario struct {
 	// EventEpoch overrides the lockstep epoch width of the sharded event
 	// loop (simclock.DefaultEpoch when zero).
 	EventEpoch simclock.Duration
+	// GSLB enables the global traffic director with the given routing
+	// policy, health-probe cadence and failover thresholds.  A GSLB scenario
+	// always runs on the sharded event loop (EventWorkers 0 is promoted to
+	// 1), so its output is byte-identical for every EventWorkers value.
+	GSLB gslb.Config
+	// GlobalClients attaches this many emulated browsers to the director
+	// instead of a fixed region.
+	GlobalClients int
+	// Arrivals lists open-loop (optionally inhomogeneous-Poisson) request
+	// streams, pinned to a region or attached to the director.
+	Arrivals []acm.ArrivalSetup
+	// Faults is the scripted region-outage schedule driving failover
+	// experiments.
+	Faults []acm.RegionFault
 	// TailFraction is the fraction of the run treated as steady state when
 	// judging convergence and oscillation (0.4 when zero).
 	TailFraction float64
@@ -102,6 +117,10 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		Predictor:       s.Predictor,
 		EventWorkers:    s.EventWorkers,
 		EventEpoch:      s.EventEpoch,
+		GSLB:            s.GSLB,
+		GlobalClients:   s.GlobalClients,
+		Arrivals:        s.Arrivals,
+		Faults:          s.Faults,
 	}
 }
 
@@ -319,6 +338,99 @@ func Figure4EventLoopScenario(seed uint64) Scenario {
 	}
 	sc.EventWorkers = 4
 	return sc
+}
+
+// globalRegions is the shared deployment of the global-* scenarios: the
+// three paper regions, each keeping a small pinned client population so the
+// classic forward-plan machinery stays exercised alongside the director.
+func globalRegions() []acm.RegionSetup {
+	return []acm.RegionSetup{
+		{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion1), Clients: 32, Mix: workload.BrowsingMix()},
+		{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion2), Clients: 32, Mix: workload.BrowsingMix()},
+		{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion3), Clients: 32, Mix: workload.BrowsingMix()},
+	}
+}
+
+// GlobalFailoverScenario exercises health-driven failover: 256 global
+// clients enter through the director's failover policy (preference region1 >
+// region2 > region3) while a scripted outage blacks region1 out between
+// minutes 10 and 20.  The probe drains region1 within two 15-second
+// samples, traffic fails over to region2, and once the controller
+// repromotes region1's pool after the outage the director fails back —
+// all of it pinned down to the byte by the scenario golden (per-region
+// routed counts plus the health-transition log).
+func GlobalFailoverScenario(seed uint64) Scenario {
+	return Scenario{
+		Name:          "global-failover",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 256,
+		GSLB: gslb.Config{
+			Policy:     gslb.PolicyFailover,
+			Preference: []string{"region1", "region2", "region3"},
+		},
+		Faults: []acm.RegionFault{
+			{Region: "region1", At: 10 * simclock.Minute, Duration: 10 * simclock.Minute, KeepActive: 0},
+		},
+	}.withDefaults()
+}
+
+// GlobalLeastLoadScenario routes 192 global clients by probed region
+// capacity: the least-load policy re-weights every 15 seconds as
+// rejuvenations, failures and recoveries move each region's healthy-state
+// capacity, so traffic continuously follows where the resources are.
+func GlobalLeastLoadScenario(seed uint64) Scenario {
+	return Scenario{
+		Name:          "global-leastload",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 192,
+		GSLB: gslb.Config{
+			Policy: gslb.PolicyLeastLoad,
+		},
+	}.withDefaults()
+}
+
+// GlobalDiurnalScenario models time-varying global traffic: three
+// region-pinned inhomogeneous-Poisson streams ("americas", "europe",
+// "asia") whose sinusoidal rates peak a third of a cycle apart — each
+// region's entry load crests at a different time — plus a globally attached
+// piecewise "mobile" stream and 96 global browsers split by the
+// static-weight policy.  The rotating peaks are exactly the workload the
+// forward plan and the director have to keep absorbing together.
+func GlobalDiurnalScenario(seed uint64) Scenario {
+	diurnal := func(phase simclock.Duration) workload.RateSpec {
+		return workload.RateSpec{
+			Kind:      workload.RateSinusoid,
+			Base:      6,
+			Amplitude: 4,
+			Period:    1 * simclock.Hour,
+			Phase:     phase,
+		}
+	}
+	return Scenario{
+		Name:          "global-diurnal",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 96,
+		GSLB: gslb.Config{
+			Policy:  gslb.PolicyStatic,
+			Weights: []float64{0.45, 0.30, 0.25},
+		},
+		Arrivals: []acm.ArrivalSetup{
+			{Name: "americas", Region: "region1", Rate: diurnal(0)},
+			{Name: "europe", Region: "region2", Rate: diurnal(20 * simclock.Minute)},
+			{Name: "asia", Region: "region3", Rate: diurnal(40 * simclock.Minute)},
+			{Name: "mobile", Rate: workload.RateSpec{
+				Kind: workload.RatePiecewise,
+				Steps: []workload.RateStep{
+					{Duration: 10 * simclock.Minute, Rate: 4},
+					{Duration: 10 * simclock.Minute, Rate: 12},
+					{Duration: 10 * simclock.Minute, Rate: 2},
+				},
+			}},
+		},
+	}.withDefaults()
 }
 
 // Policies returns the three policies of the paper keyed by the short names

@@ -1,0 +1,415 @@
+// Package gslb is the global traffic director of the deployment: the
+// component that sits between client populations and cloud regions and
+// decides, per request, which region serves it — the simulated counterpart
+// of a DNS-level global server load balancer (GSLB).
+//
+// A Director owns one routing policy (static weights, round-robin,
+// telemetry-driven least-load, or health-driven failover) and a per-region
+// health state machine fed by a periodic probe of region telemetry (active
+// capacity and error signals).  The probe runs on the simulation's control
+// timeline, so health transitions — and the routing-table snapshots derived
+// from them — happen at deterministic timestamps while every region shard is
+// idle.  Request-path routing only ever reads an immutable *Table snapshot
+// with caller-owned RNG/rotation state, which is what keeps a deployment's
+// output byte-identical for any event-loop worker count.
+//
+// The health model follows the shape of production GSLBs (OpenGSLB's
+// health-checked geo/failover/weighted policies): a region serves while
+// Healthy or Degraded, is excluded while Drained or Recovering, and both
+// transitions are debounced by consecutive-probe streaks so a single noisy
+// sample neither drains a region nor fails traffic back prematurely.
+package gslb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+)
+
+// PolicyKind names a routing policy.
+type PolicyKind string
+
+const (
+	// PolicyStatic splits traffic across serving regions by fixed weights.
+	PolicyStatic PolicyKind = "static"
+	// PolicyRoundRobin rotates across serving regions.  Each request stream
+	// keeps its own rotation cursor, so the policy is deterministic for any
+	// worker count.
+	PolicyRoundRobin PolicyKind = "rr"
+	// PolicyLeastLoad weights serving regions by the healthy-state service
+	// capacity reported by the most recent probe, so traffic follows
+	// capacity as regions degrade, rejuvenate and recover.
+	PolicyLeastLoad PolicyKind = "leastload"
+	// PolicyFailover sends all traffic to the most-preferred serving region
+	// and fails over to the next preference when it drains, failing back
+	// once the preferred region is healthy again.
+	PolicyFailover PolicyKind = "failover"
+)
+
+// PolicyKinds returns every routing policy in presentation order.
+func PolicyKinds() []PolicyKind {
+	return []PolicyKind{PolicyStatic, PolicyRoundRobin, PolicyLeastLoad, PolicyFailover}
+}
+
+// ParsePolicy validates a policy name from a CLI flag or config file,
+// returning an error that lists the valid choices.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for _, k := range PolicyKinds() {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	names := make([]string, 0, len(PolicyKinds()))
+	for _, k := range PolicyKinds() {
+		names = append(names, string(k))
+	}
+	return "", fmt.Errorf("gslb: unknown policy %q (valid: %s)", s, strings.Join(names, ", "))
+}
+
+// Config tunes the director.  The zero value means "no director"; setting
+// Policy enables it.  All fields are plain data so scenarios embedding a
+// Config round-trip through JSON.
+type Config struct {
+	// Policy selects the routing policy; empty disables the director.
+	Policy PolicyKind
+	// Weights are the static-weight policy's per-region weights, in
+	// deployment order (uniform when empty).  Ignored by other policies.
+	Weights []float64
+	// Preference orders region names most-preferred first for the failover
+	// policy (deployment order when empty).  Ignored by other policies.
+	Preference []string
+	// ProbeInterval is the health-probe period on the control timeline
+	// (15 s when zero).
+	ProbeInterval simclock.Duration
+	// CapacityThreshold drains a region whose ACTIVE-VM fraction (relative
+	// to its initial active pool) falls below this value (0.5 when zero).
+	CapacityThreshold float64
+	// ErrorThreshold drains a region whose per-probe-interval drop ratio
+	// (dropped / (served + dropped)) exceeds this value (0.5 when zero).
+	ErrorThreshold float64
+	// UnhealthyAfter is the number of consecutive bad probes before a
+	// serving region is drained (2 when zero).
+	UnhealthyAfter int
+	// HealthyAfter is the number of consecutive good probes before a
+	// drained region serves again (4 when zero).
+	HealthyAfter int
+}
+
+// Enabled reports whether the configuration selects a director.
+func (c Config) Enabled() bool { return c.Policy != "" }
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 15 * simclock.Second
+	}
+	if c.CapacityThreshold <= 0 {
+		c.CapacityThreshold = 0.5
+	}
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 0.5
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 2
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 4
+	}
+	return c
+}
+
+// HealthState is one region's position in the failover state machine.
+type HealthState int
+
+const (
+	// Healthy: serving, no recent bad probes.
+	Healthy HealthState = iota
+	// Degraded: serving, but accumulating bad probes towards a drain.
+	Degraded
+	// Drained: excluded from routing until probes recover.
+	Drained
+	// Recovering: still excluded, accumulating good probes towards failback.
+	Recovering
+)
+
+// String renders the state name.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Drained:
+		return "drained"
+	case Recovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(s))
+	}
+}
+
+// Serving reports whether a region in this state receives traffic.
+func (s HealthState) Serving() bool { return s == Healthy || s == Degraded }
+
+// Transition records one health-state change, for reports and byte-pinned
+// goldens.
+type Transition struct {
+	// At is the control-timeline timestamp of the probe that moved the
+	// region.
+	At simclock.Time
+	// Region names the region.
+	Region string
+	// From and To are the states before and after.
+	From, To HealthState
+}
+
+// String renders the transition on one line ("t=630s region1 degraded->drained").
+func (t Transition) String() string {
+	return fmt.Sprintf("t=%.0fs %s %s->%s", t.At.Seconds(), t.Region, t.From, t.To)
+}
+
+// regionHealth is the per-region probe state.
+type regionHealth struct {
+	state       HealthState
+	badStreak   int
+	goodStreak  int
+	prevServed  uint64
+	prevDropped uint64
+	capacity    float64 // last probed service capacity (least-load weight)
+}
+
+// Director is the global traffic director.  Tick (probe + table rebuild) is
+// control-timeline-only; the request path reads immutable Table snapshots.
+type Director struct {
+	cfg     Config
+	regions []string
+	sample  func(i int) cloudsim.Telemetry
+	health  []regionHealth
+	pref    []int // preference order as region indices
+	table   *Table
+	trans   []Transition
+	probes  uint64
+}
+
+// NewDirector builds a director over the named regions (deployment order).
+// sample returns the current telemetry of region i; it is only called from
+// Tick.  The initial routing table treats every region as Healthy with its
+// probe-time capacity unknown (uniform least-load weights) — the first probe
+// replaces it.
+func NewDirector(cfg Config, regions []string, sample func(i int) cloudsim.Telemetry) (*Director, error) {
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("gslb: config has no policy")
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("gslb: no regions")
+	}
+	if sample == nil {
+		return nil, fmt.Errorf("gslb: nil telemetry sampler")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Policy == PolicyStatic && len(cfg.Weights) > 0 && len(cfg.Weights) != len(regions) {
+		return nil, fmt.Errorf("gslb: %d static weights for %d regions", len(cfg.Weights), len(regions))
+	}
+	index := make(map[string]int, len(regions))
+	for i, r := range regions {
+		index[r] = i
+	}
+	pref := make([]int, 0, len(regions))
+	if len(cfg.Preference) > 0 {
+		seen := map[int]bool{}
+		for _, name := range cfg.Preference {
+			i, ok := index[name]
+			if !ok {
+				return nil, fmt.Errorf("gslb: preference names unknown region %q", name)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("gslb: region %q listed twice in preference", name)
+			}
+			seen[i] = true
+			pref = append(pref, i)
+		}
+		// Unlisted regions become last-resort backups in deployment order.
+		for i := range regions {
+			if !seen[i] {
+				pref = append(pref, i)
+			}
+		}
+	} else {
+		for i := range regions {
+			pref = append(pref, i)
+		}
+	}
+	d := &Director{
+		cfg:     cfg,
+		regions: append([]string(nil), regions...),
+		sample:  sample,
+		health:  make([]regionHealth, len(regions)),
+		pref:    pref,
+	}
+	for i := range d.health {
+		d.health[i].capacity = 1 // uniform until the first probe
+	}
+	d.table = d.buildTable()
+	return d, nil
+}
+
+// Config returns the director configuration with defaults applied.
+func (d *Director) Config() Config { return d.cfg }
+
+// Regions returns the region names in deployment order.
+func (d *Director) Regions() []string { return append([]string(nil), d.regions...) }
+
+// Table returns the current routing-table snapshot.
+func (d *Director) Table() *Table { return d.table }
+
+// States returns the current health state of every region, in deployment
+// order.
+func (d *Director) States() []HealthState {
+	out := make([]HealthState, len(d.health))
+	for i := range d.health {
+		out[i] = d.health[i].state
+	}
+	return out
+}
+
+// State returns the health state of region i.
+func (d *Director) State(i int) HealthState { return d.health[i].state }
+
+// Transitions returns every health-state change so far, in probe order.
+func (d *Director) Transitions() []Transition { return append([]Transition(nil), d.trans...) }
+
+// Probes returns the number of completed probe ticks.
+func (d *Director) Probes() uint64 { return d.probes }
+
+// Tick runs one health probe: it samples every region's telemetry, advances
+// the per-region state machines and rebuilds the routing table.  It must run
+// on the control timeline (exclusive access to the regions); the returned
+// snapshot is what callers republish to their request-path readers.
+func (d *Director) Tick(now simclock.Time) *Table {
+	d.probes++
+	for i := range d.health {
+		h := &d.health[i]
+		tel := d.sample(i)
+		h.capacity = tel.Capacity
+
+		baseline := tel.BaselineActive
+		if baseline <= 0 {
+			baseline = 1
+		}
+		capFrac := float64(tel.ActiveVMs) / float64(baseline)
+		dServed := tel.Served - h.prevServed
+		dDropped := tel.Dropped - h.prevDropped
+		h.prevServed, h.prevDropped = tel.Served, tel.Dropped
+		errRate := 0.0
+		if total := dServed + dDropped; total > 0 {
+			errRate = float64(dDropped) / float64(total)
+		}
+		bad := capFrac < d.cfg.CapacityThreshold || errRate > d.cfg.ErrorThreshold
+
+		if bad {
+			h.goodStreak = 0
+			h.badStreak++
+		} else {
+			h.badStreak = 0
+			h.goodStreak++
+		}
+		next := h.state
+		if h.state.Serving() {
+			switch {
+			case h.badStreak >= d.cfg.UnhealthyAfter:
+				next = Drained
+			case h.badStreak > 0:
+				next = Degraded
+			default:
+				next = Healthy
+			}
+		} else {
+			switch {
+			case h.goodStreak >= d.cfg.HealthyAfter:
+				next = Healthy
+			case h.goodStreak > 0:
+				next = Recovering
+			default:
+				next = Drained
+			}
+		}
+		if next != h.state {
+			d.trans = append(d.trans, Transition{At: now, Region: d.regions[i], From: h.state, To: next})
+			h.state = next
+		}
+	}
+	d.table = d.buildTable()
+	return d.table
+}
+
+// buildTable derives the immutable routing snapshot from the current health
+// states and probe capacities.
+func (d *Director) buildTable() *Table {
+	serving := make([]int, 0, len(d.regions))
+	for _, i := range d.pref {
+		if d.health[i].state.Serving() {
+			serving = append(serving, i)
+		}
+	}
+	if len(serving) == 0 {
+		// Every region is drained: routing somewhere beats routing nowhere,
+		// so fall back to the full preference order (the requests surface as
+		// drops/errors at the regions, which is the honest outcome).
+		serving = append(serving, d.pref...)
+	}
+	t := &Table{mode: d.cfg.Policy, eligible: serving}
+	switch d.cfg.Policy {
+	case PolicyStatic:
+		t.weights = make([]float64, len(serving))
+		for j, i := range serving {
+			if len(d.cfg.Weights) == len(d.regions) {
+				t.weights[j] = d.cfg.Weights[i]
+			} else {
+				t.weights[j] = 1
+			}
+		}
+	case PolicyLeastLoad:
+		t.weights = make([]float64, len(serving))
+		for j, i := range serving {
+			t.weights[j] = d.health[i].capacity
+		}
+	}
+	return t
+}
+
+// Table is an immutable routing snapshot.  It is safe for any number of
+// concurrent readers; all mutable routing state (the RNG for weighted picks,
+// the rotation cursor for round-robin) is owned by the caller, so two
+// request streams never contend and every stream's routing sequence is a
+// deterministic function of its own request sequence.
+type Table struct {
+	mode     PolicyKind
+	eligible []int     // serving region indices, preference-ordered
+	weights  []float64 // aligned with eligible (static / least-load)
+}
+
+// Mode returns the policy kind of the snapshot.
+func (t *Table) Mode() PolicyKind { return t.mode }
+
+// Eligible returns the serving region indices, preference-ordered.
+func (t *Table) Eligible() []int { return append([]int(nil), t.eligible...) }
+
+// Route picks the destination region index for one request.  rng supplies
+// the weighted draw of the static and least-load policies; rr is the
+// caller's round-robin cursor (advanced only by the round-robin policy).
+func (t *Table) Route(rng *simclock.RNG, rr *uint64) int {
+	switch t.mode {
+	case PolicyRoundRobin:
+		i := t.eligible[int(*rr%uint64(len(t.eligible)))]
+		*rr++
+		return i
+	case PolicyFailover:
+		return t.eligible[0]
+	default: // static, leastload
+		return t.eligible[rng.Choice(t.weights)]
+	}
+}

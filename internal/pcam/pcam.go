@@ -204,6 +204,7 @@ type VMC struct {
 	lastRMTTF    float64 // last raw (un-smoothed) RMTTF computed from predictions
 	predicted    map[string]float64
 	targetActive int
+	targetForced bool // a scripted outage holds the target; elasticity is suspended
 
 	// Reusable scratch buffers that keep the per-tick and per-request hot
 	// paths allocation-free: one shardScratch per region shard for the
@@ -253,6 +254,47 @@ func NewVMC(region *cloudsim.Region, predictor RTTFPredictor, cfg Config) (*VMC,
 
 // TargetActive returns the number of ACTIVE VMs the controller maintains.
 func (v *VMC) TargetActive() int { return v.targetActive }
+
+// ForceTargetActive overrides the controller's active-pool target and
+// immediately deactivates ACTIVE VMs (newest first, letting in-flight
+// requests drain) until at most n remain, returning the previous target.
+// It is the region-outage lever of the fault-injection machinery: forcing
+// n=0 blacks the region out — the control tick cannot promote standbys
+// while the target is zero, and the elasticity controller is suspended so
+// an SLA spike during the blackout cannot re-activate capacity behind the
+// fault's back.  Restore with RestoreTargetActive.  On a sharded event loop
+// both must be called from the control timeline (exclusive access to every
+// shard).
+func (v *VMC) ForceTargetActive(n int) int {
+	prev := v.targetActive
+	if n < 0 {
+		n = 0
+	}
+	v.targetActive = n
+	v.targetForced = true
+	if excess := v.region.ActiveCount() - n; excess > 0 {
+		v.elastActive = v.region.AppendByState(v.elastActive[:0], cloudsim.StateActive)
+		active := v.elastActive
+		for i := len(active) - 1; i >= 0 && excess > 0; i-- {
+			if active[i].Deactivate() {
+				v.stats.Deactivations++
+				excess--
+			}
+		}
+	}
+	return prev
+}
+
+// RestoreTargetActive ends a forced outage: the target returns to n (as
+// returned by ForceTargetActive) and the next control tick repromotes
+// standbys; the elasticity controller resumes from that target.
+func (v *VMC) RestoreTargetActive(n int) {
+	if n < 0 {
+		n = 0
+	}
+	v.targetActive = n
+	v.targetForced = false
+}
 
 // Region returns the managed region.
 func (v *VMC) Region() *cloudsim.Region { return v.region }
@@ -516,7 +558,14 @@ func (v *VMC) shardTick(now simclock.Time, s int) {
 }
 
 // applyElasticity implements the ADDVMS action and the scale-down branch.
+// It is suspended while a scripted outage holds the target (targetForced):
+// the blackout's drained-but-slow completions would otherwise trip the
+// response-time threshold and re-activate the very capacity the fault took
+// away.
 func (v *VMC) applyElasticity(eng *simclock.Engine, meanResp float64) {
+	if v.targetForced {
+		return
+	}
 	if meanResp > v.cfg.ResponseTimeThreshold {
 		v.targetActive++
 		if !v.activateStandby(eng) && v.region.CanProvision() {
