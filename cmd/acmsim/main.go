@@ -39,6 +39,8 @@ func main() {
 	var (
 		regions   = flag.String("regions", "1,3", "comma-separated paper regions to deploy (1, 2, 3)")
 		clients   = flag.String("clients", "320,128", "comma-separated client counts, one per region")
+		cohorts   = flag.String("cohort-clients", "", "comma-separated cohort-compressed client counts, one per region (10^6-scale populations batched per tick; empty = none)")
+		tracerFr  = flag.Float64("tracer-fraction", -1, "fraction of every cohort simulated as individual browsers feeding the latency series, in [0, 1] (-1 keeps each scenario's own setting; default 1%)")
 		policy    = flag.String("policy", "policy2", "load-balancing policy: policy1, policy2, policy3, uniform")
 		predictor = flag.String("predictor", "oracle", "RTTF predictor: oracle or ml")
 		hours     = flag.Float64("hours", 2, "simulated hours")
@@ -92,6 +94,7 @@ func main() {
 		// The sweep defines its own deployments and output; a single-run
 		// flag alongside -scenarios would be silently ignored, so reject it.
 		for _, f := range []string{"scenario", "config", "dump-config", "regions", "clients", "mix",
+			"cohort-clients", "tracer-fraction",
 			"policy", "predictor", "beta", "interval", "shards", "tick-workers", "event-workers",
 			"gslb-policy", "csv"} {
 			if explicit[f] {
@@ -112,7 +115,7 @@ func main() {
 		}
 	}
 
-	if err := run(*regions, *clients, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
@@ -144,7 +147,7 @@ func runMatrix(scenarioList, policyList, betaList string, reps, workers int, see
 	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
 }
 
-func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -191,7 +194,7 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 	// Deployment-shape flags conflict with a complete scenario; reject them
 	// instead of silently simulating a different deployment.
 	rejectShapeFlags := func(source string) error {
-		for _, conflicting := range []string{"regions", "clients", "mix"} {
+		for _, conflicting := range []string{"regions", "clients", "cohort-clients", "mix"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s conflicts with %s (the scenario defines the deployment)", conflicting, source)
 			}
@@ -227,7 +230,7 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 		if err := experiment.ValidateBeta(beta); err != nil {
 			return err
 		}
-		setups, err := parseRegions(regionSpec, clientSpec, mixName)
+		setups, err := parseRegions(regionSpec, clientSpec, cohortSpec, mixName)
 		if err != nil {
 			return err
 		}
@@ -240,6 +243,16 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 			Beta:            beta,
 			Predictor:       mode,
 		}
+	}
+	// -tracer-fraction overrides how much of every cohort population is
+	// simulated individually; it is a tuning knob like -beta, so it applies
+	// to loaded and registered scenarios too.  -1 (the default) keeps the
+	// scenario's own setting; anything outside [0, 1] is rejected by name.
+	if explicit["tracer-fraction"] {
+		if tracerFraction < 0 || tracerFraction > 1 {
+			return fmt.Errorf("-tracer-fraction must be in [0, 1], got %v", tracerFraction)
+		}
+		scenario.TracerFraction = tracerFraction
 	}
 	// -shards overrides every region's engine-shard count regardless of how
 	// the scenario was assembled (flags, registry or JSON file); 0 keeps each
@@ -306,8 +319,13 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 		return err
 	}
 
-	fmt.Printf("deploying %d regions, %d clients, policy %s, predictor %s, %.1f simulated hours\n",
-		len(scenario.Regions), scenario.TotalClients(), np.Label, scenario.Predictor, scenario.Horizon.Seconds()/3600)
+	if eff := scenario.EffectiveClients(); eff != scenario.TotalClients() {
+		fmt.Printf("deploying %d regions, %d effective clients (%d browsers + cohort-compressed), policy %s, predictor %s, %.1f simulated hours\n",
+			len(scenario.Regions), eff, scenario.TotalClients(), np.Label, scenario.Predictor, scenario.Horizon.Seconds()/3600)
+	} else {
+		fmt.Printf("deploying %d regions, %d clients, policy %s, predictor %s, %.1f simulated hours\n",
+			len(scenario.Regions), scenario.TotalClients(), np.Label, scenario.Predictor, scenario.Horizon.Seconds()/3600)
+	}
 	if err := mgr.Run(scenario.Horizon); err != nil {
 		return err
 	}
@@ -327,12 +345,20 @@ func run(regionSpec, clientSpec, policyKey, predictor, mixName string, hours flo
 	return nil
 }
 
-// parseRegions turns "1,3" + "320,128" into the region setups.
-func parseRegions(regionSpec, clientSpec, mixName string) ([]acm.RegionSetup, error) {
+// parseRegions turns "1,3" + "320,128" (and an optional "-cohort-clients"
+// list) into the region setups.
+func parseRegions(regionSpec, clientSpec, cohortSpec, mixName string) ([]acm.RegionSetup, error) {
 	regionIDs := strings.Split(regionSpec, ",")
 	clientCounts := strings.Split(clientSpec, ",")
 	if len(regionIDs) != len(clientCounts) {
 		return nil, fmt.Errorf("got %d regions but %d client counts", len(regionIDs), len(clientCounts))
+	}
+	var cohortCounts []string
+	if cohortSpec != "" {
+		cohortCounts = strings.Split(cohortSpec, ",")
+		if len(cohortCounts) != len(regionIDs) {
+			return nil, fmt.Errorf("-cohort-clients: got %d regions but %d cohort counts", len(regionIDs), len(cohortCounts))
+		}
 	}
 	var mix workload.Mix
 	switch mixName {
@@ -355,10 +381,18 @@ func parseRegions(regionSpec, clientSpec, mixName string) ([]acm.RegionSetup, er
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("invalid client count %q", clientCounts[i])
 		}
+		cohort := 0
+		if cohortCounts != nil {
+			cohort, err = strconv.Atoi(strings.TrimSpace(cohortCounts[i]))
+			if err != nil || cohort < 0 {
+				return nil, fmt.Errorf("-cohort-clients: count %q must be an integer >= 0", cohortCounts[i])
+			}
+		}
 		out = append(out, acm.RegionSetup{
-			Region:  cloudsim.PaperRegionConfig(cloudsim.PaperRegion(id)),
-			Clients: n,
-			Mix:     mix,
+			Region:        cloudsim.PaperRegionConfig(cloudsim.PaperRegion(id)),
+			Clients:       n,
+			CohortClients: cohort,
+			Mix:           mix,
 		})
 	}
 	return out, nil

@@ -42,6 +42,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "deterministic simulation seed")
 		horizon  = flag.Float64("horizon", 2, "simulated hours per run")
 		csvDir   = flag.String("csv", "", "directory to write the raw time series as CSV files")
+		cohorts  = flag.Int("cohort-clients", 0, "add this many cohort-compressed clients to every region of the figure scenario (0 = none; see the megaclients scenarios for 10^6-scale runs)")
+		tracerFr = flag.Float64("tracer-fraction", -1, "fraction of every cohort simulated as individual browsers feeding the latency series, in [0, 1] (-1 keeps the default 1%)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any worker count)")
 
 		// Matrix-sweep mode (experiment.Matrix).
@@ -61,7 +63,7 @@ func main() {
 	if *scenarios != "" {
 		// The sweep defines its own scenarios and output; a figure/ablation
 		// flag alongside -scenarios would be silently ignored, so reject it.
-		for _, f := range []string{"figure", "ablation", "summary", "csv", "policy"} {
+		for _, f := range []string{"figure", "ablation", "summary", "csv", "policy", "cohort-clients", "tracer-fraction"} {
 			if explicit[f] {
 				fmt.Fprintf(os.Stderr, "figures: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
 				os.Exit(1)
@@ -80,7 +82,15 @@ func main() {
 		}
 	}
 
-	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir, *workers); err != nil {
+	if *cohorts < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -cohort-clients must be >= 0, got %d\n", *cohorts)
+		os.Exit(1)
+	}
+	if explicit["tracer-fraction"] && (*tracerFr < 0 || *tracerFr > 1) {
+		fmt.Fprintf(os.Stderr, "figures: -tracer-fraction must be in [0, 1], got %v\n", *tracerFr)
+		os.Exit(1)
+	}
+	if err := run(*figure, *policy, *summary, *ablation, *seed, *horizon, *csvDir, *cohorts, *tracerFr, explicit["tracer-fraction"], *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -110,7 +120,7 @@ func runMatrix(scenarioList, policyList, betaList string, reps, workers int, see
 	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
 }
 
-func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string, workers int) error {
+func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string, cohortClients int, tracerFraction float64, tracerSet bool, workers int) error {
 	horizon := simclock.Duration(horizonHours) * simclock.Hour
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -127,6 +137,17 @@ func run(figure int, policy string, summary bool, ablation string, seed uint64, 
 			return experiment.Scenario{}, err
 		}
 		sc.Horizon = horizon
+		// -cohort-clients rides cohort-compressed populations alongside every
+		// region's browsers; -tracer-fraction tunes how much of each cohort
+		// feeds the latency series.
+		if cohortClients > 0 {
+			for i := range sc.Regions {
+				sc.Regions[i].CohortClients = cohortClients
+			}
+		}
+		if tracerSet {
+			sc.TracerFraction = tracerFraction
+		}
 		return sc, nil
 	}
 

@@ -47,6 +47,13 @@ type RegionSetup struct {
 	// Clients is the number of emulated browsers connected to this region's
 	// load balancer (the paper varies this in [16, 512] per region).
 	Clients int
+	// CohortClients attaches this many cohort-compressed clients to the
+	// region in addition to Clients: counted state buckets split by binomial
+	// draws instead of per-client state machines, so populations of 10^6+
+	// effective clients cost events proportional to their batch count.  A
+	// TracerFraction of them is simulated individually to feed the
+	// response-time series (see Config.TracerFraction).
+	CohortClients int
 	// Mix is the TPC-W mix of those clients (browsing mix when zero-valued).
 	Mix workload.Mix
 	// SurgeClients optionally adds this many extra browsers once SurgeAt is
@@ -123,6 +130,19 @@ type Config struct {
 	// GlobalMix is the interaction mix of the global clients (browsing when
 	// zero-valued).
 	GlobalMix workload.Mix
+	// CohortClients attaches this many cohort-compressed clients to the
+	// director (the global analogue of RegionSetup.CohortClients).  Requires
+	// GSLB to be enabled.
+	CohortClients int
+	// TracerFraction is the fraction of every cohort simulated as individual
+	// tracer browsers feeding the per-request latency series.  Must lie in
+	// [0, 1]; zero selects the default of 0.01 (~1%).
+	TracerFraction float64
+	// CohortTick is the cohorts' state-split cadence (1 s when zero).
+	CohortTick simclock.Duration
+	// CohortMaxBatch caps the interactions one batched request stands for
+	// (64 when zero).
+	CohortMaxBatch int
 	// Arrivals lists open-loop (optionally time-varying, inhomogeneous-
 	// Poisson) request streams: pinned to one region's entry load balancer
 	// when Region is set, attached to the director otherwise.
@@ -157,6 +177,9 @@ func (c Config) withDefaults() Config {
 	if c.EventWorkers < 0 {
 		c.EventWorkers = 0
 	}
+	if c.TracerFraction == 0 {
+		c.TracerFraction = 0.01
+	}
 	if c.GSLB.Enabled() && c.EventWorkers == 0 {
 		// Global routing crosses region sub-engines, so a GSLB deployment
 		// always runs on the epochal engine; 0 selects the inline (1-worker)
@@ -182,6 +205,7 @@ type Manager struct {
 	populations map[string]*workload.Population
 	surges      map[string]*workload.Population
 	surgeAt     map[string]simclock.Duration
+	cohorts     []*workload.CohortPopulation // serial engine only; the event loop keeps per-shard cohorts
 	metrics     *workload.Metrics
 	net         *overlay.Network
 	cluster     *election.Cluster
@@ -196,7 +220,7 @@ type Manager struct {
 	// interval accounting for λ, entry shares and the response-time series
 	prevIssued    map[string]uint64
 	prevIssuedAll uint64
-	prevCompleted uint64
+	prevRespCount uint64
 	prevRespTotal float64
 
 	// counters
@@ -312,6 +336,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err := m.buildSerialArrivals(); err != nil {
 			return nil, err
 		}
+		m.buildSerialCohorts()
 	}
 
 	// Overlay + leader election among the controllers.
@@ -468,14 +493,41 @@ func hashString(s string) uint64 {
 	return h
 }
 
-// entrySharesFromClients returns the per-region share of connected clients,
-// the best estimate of the entry distribution before any traffic is observed.
+// entrySharesFromClients returns the per-region share of connected clients
+// (cohort-compressed ones included), the best estimate of the entry
+// distribution before any traffic is observed.
 func (m *Manager) entrySharesFromClients() []float64 {
 	out := make([]float64, len(m.cfg.Regions))
 	for i, rs := range m.cfg.Regions {
-		out[i] = float64(rs.Clients)
+		out[i] = float64(rs.Clients + rs.CohortClients)
 	}
 	return core.Normalize(out)
+}
+
+// buildSerialCohorts constructs the per-region cohort-compressed populations
+// of a serial-engine deployment (the event loop builds per-shard cohorts in
+// newEventLoop instead).  Runs after validateGlobal, so CohortClients and
+// TracerFraction have been range-checked.
+func (m *Manager) buildSerialCohorts() {
+	for i, rs := range m.cfg.Regions {
+		if rs.CohortClients <= 0 {
+			continue
+		}
+		name := m.regionNames[i]
+		m.cohorts = append(m.cohorts, workload.NewCohortPopulation(workload.CohortConfig{
+			Region:         name,
+			Clients:        rs.CohortClients,
+			Mix:            rs.Mix,
+			ThinkTimeMean:  m.cfg.ThinkTime,
+			Tick:           m.cfg.CohortTick,
+			MaxBatch:       m.cfg.CohortMaxBatch,
+			TracerFraction: m.cfg.TracerFraction,
+			Timeout:        m.cfg.RequestTimeout,
+			RampUp:         m.cfg.ControlInterval / 2,
+			IDPrefix:       name + "-tracer",
+			Seed:           simclock.DeriveSeed(m.cfg.Seed^hashString("cohort"), uint64(i)),
+		}, m.entryDispatcher(name), m.metrics))
+	}
 }
 
 // Engine exposes the simulation engine (tests and examples schedule fault
@@ -564,6 +616,9 @@ func (m *Manager) Start() {
 		for _, gen := range m.arrivals {
 			gen.Start(m.eng)
 		}
+		for _, c := range m.cohorts {
+			c.Start(m.eng)
+		}
 	}
 	m.startDirector()
 	m.scheduleFaults()
@@ -585,6 +640,9 @@ func (m *Manager) Stop() {
 		}
 		for _, gen := range m.arrivals {
 			gen.Stop()
+		}
+		for _, c := range m.cohorts {
+			c.Stop()
 		}
 	}
 	if m.stopProbe != nil {
@@ -744,15 +802,20 @@ func (m *Manager) intervalArrivals(met *workload.Metrics) (lambda float64, entry
 }
 
 // intervalResponseTime returns the mean client response time over the last
-// control interval (falling back to the lifetime mean when no request
-// completed in the interval).
+// control interval (falling back to the lifetime mean when no sample landed
+// in the interval).  The interval mean is reconstructed from the latency
+// sample count, not the completion counter: with cohort-compressed
+// populations completions are batch-weighted while the latency series is fed
+// only by individually simulated clients, and dividing one by the other
+// would collapse the series.  Without cohorts the two counters are equal, so
+// the arithmetic is unchanged.
 func (m *Manager) intervalResponseTime(met *workload.Metrics) float64 {
-	count := met.Completed("")
+	count := met.ResponseSamples("")
 	mean := met.MeanResponseTime("")
 	total := mean * float64(count)
-	dCount := count - m.prevCompleted
+	dCount := count - m.prevRespCount
 	dTotal := total - m.prevRespTotal
-	m.prevCompleted = count
+	m.prevRespCount = count
 	m.prevRespTotal = total
 	if dCount == 0 {
 		return mean

@@ -49,6 +49,14 @@ type eventLoop struct {
 	pops  [][]*workload.Population
 	surge [][]*workload.Population
 
+	// Per-(region, shard) cohort-compressed populations: region r's
+	// CohortClients split across its shards like the browser population, so
+	// the batch submissions and the tracer browsers stay shard-local.
+	cohorts [][]*workload.CohortPopulation
+	// Per-lane cohort populations attached to the director (the
+	// cohort-compressed analogue of globalPops).
+	globalCohorts []*workload.CohortPopulation
+
 	// Per-global-shard state, merged in shard-index order at read time.
 	metrics   []*workload.Metrics
 	local     []uint64
@@ -101,6 +109,7 @@ func newEventLoop(m *Manager) *eventLoop {
 	}
 	el.pops = make([][]*workload.Population, len(m.regions))
 	el.surge = make([][]*workload.Population, len(m.regions))
+	el.cohorts = make([][]*workload.CohortPopulation, len(m.regions))
 
 	for r, region := range m.regions {
 		n := region.NumShards()
@@ -112,6 +121,9 @@ func newEventLoop(m *Manager) *eventLoop {
 		el.pops[r] = el.buildPopulations(r, rs, rs.Clients, m.cfg.Seed+uint64(r)*7919+101)
 		if rs.SurgeClients > 0 && rs.SurgeAt > 0 {
 			el.surge[r] = el.buildPopulations(r, rs, rs.SurgeClients, m.cfg.Seed+uint64(r)*7919+271)
+		}
+		if rs.CohortClients > 0 {
+			el.cohorts[r] = el.buildCohorts(r, rs)
 		}
 	}
 	el.buildGlobalTraffic()
@@ -148,6 +160,25 @@ func (el *eventLoop) buildGlobalTraffic() {
 					Timeout:       m.cfg.RequestTimeout,
 					RampUp:        m.cfg.ControlInterval / 2,
 				}, simclock.NewStreamRNG(seedBase, uint64(g)), el.gslbDisp[g], el.metrics[g])
+			}
+		}
+		if m.cfg.CohortClients > 0 {
+			el.globalCohorts = make([]*workload.CohortPopulation, el.total)
+			seedBase := m.cfg.Seed ^ hashString("gslb-cohorts")
+			for g := 0; g < el.total; g++ {
+				el.globalCohorts[g] = workload.NewCohortPopulation(workload.CohortConfig{
+					Region:         "global",
+					IDPrefix:       fmt.Sprintf("global/s%02d-tracer", g),
+					Clients:        splitClients(m.cfg.CohortClients, el.total, g),
+					Mix:            m.cfg.GlobalMix,
+					ThinkTimeMean:  m.cfg.ThinkTime,
+					Tick:           m.cfg.CohortTick,
+					MaxBatch:       m.cfg.CohortMaxBatch,
+					TracerFraction: m.cfg.TracerFraction,
+					Timeout:        m.cfg.RequestTimeout,
+					RampUp:         m.cfg.ControlInterval / 2,
+					Seed:           simclock.DeriveSeed(seedBase, uint64(g)),
+				}, el.gslbDisp[g], el.metrics[g])
 			}
 		}
 	}
@@ -261,6 +292,32 @@ func (el *eventLoop) buildPopulations(r int, rs RegionSetup, clients int, seedBa
 	return out
 }
 
+// buildCohorts creates one cohort-compressed population per shard of region
+// r, splitting the region's CohortClients like the browser population so the
+// batch submissions and the tracer browsers stay shard-local.
+func (el *eventLoop) buildCohorts(r int, rs RegionSetup) []*workload.CohortPopulation {
+	m := el.mgr
+	n := len(el.engines[r])
+	out := make([]*workload.CohortPopulation, n)
+	seedBase := m.cfg.Seed ^ hashString("cohort")
+	for s := 0; s < n; s++ {
+		out[s] = workload.NewCohortPopulation(workload.CohortConfig{
+			Region:         rs.Region.Name,
+			IDPrefix:       shardPrefix(rs.Region.Name, s) + "-tracer",
+			Clients:        splitClients(rs.CohortClients, n, s),
+			Mix:            rs.Mix,
+			ThinkTimeMean:  m.cfg.ThinkTime,
+			Tick:           m.cfg.CohortTick,
+			MaxBatch:       m.cfg.CohortMaxBatch,
+			TracerFraction: m.cfg.TracerFraction,
+			Timeout:        m.cfg.RequestTimeout,
+			RampUp:         m.cfg.ControlInterval / 2,
+			Seed:           simclock.DeriveSeed(seedBase, uint64(r), uint64(s)),
+		}, el.dispatcher(r, s), el.metrics[el.base[r]+s])
+	}
+	return out
+}
+
 // shardPrefix labels one shard's browsers ("region1/s03").
 func shardPrefix(region string, s int) string {
 	return fmt.Sprintf("%s/s%02d", region, s)
@@ -335,9 +392,15 @@ func (el *eventLoop) start() {
 			pop, eng := pop, el.engines[r][s]
 			eng.ScheduleFunc(m.cfg.Regions[r].SurgeAt, func(e *simclock.Engine) { pop.Start(e) })
 		}
+		for s, c := range el.cohorts[r] {
+			c.Start(el.engines[r][s])
+		}
 	}
 	for g, pop := range el.globalPops {
 		pop.Start(el.se.Shard(g))
+	}
+	for g, c := range el.globalCohorts {
+		c.Start(el.se.Shard(g))
 	}
 	for i, gen := range el.varying {
 		gen.Start(el.se.Shard(el.varyingLane[i]))
@@ -354,10 +417,16 @@ func (el *eventLoop) stop() {
 		for _, pop := range el.surge[r] {
 			pop.Stop()
 		}
+		for _, c := range el.cohorts[r] {
+			c.Stop()
+		}
 		m.vmcs[name].Stop()
 	}
 	for _, pop := range el.globalPops {
 		pop.Stop()
+	}
+	for _, c := range el.globalCohorts {
+		c.Stop()
 	}
 	for _, gen := range el.varying {
 		gen.Stop()

@@ -64,6 +64,20 @@ func (m *Manager) validateGlobal() error {
 	if cfg.GlobalClients > 0 && !cfg.GSLB.Enabled() {
 		return fmt.Errorf("acm: %d global clients but no GSLB policy configured", cfg.GlobalClients)
 	}
+	if cfg.CohortClients < 0 {
+		return fmt.Errorf("acm: CohortClients must be >= 0, got %d", cfg.CohortClients)
+	}
+	if cfg.CohortClients > 0 && !cfg.GSLB.Enabled() {
+		return fmt.Errorf("acm: %d global cohort clients but no GSLB policy configured", cfg.CohortClients)
+	}
+	if cfg.TracerFraction < 0 || cfg.TracerFraction > 1 {
+		return fmt.Errorf("acm: TracerFraction must be in [0, 1], got %v", cfg.TracerFraction)
+	}
+	for i, rs := range cfg.Regions {
+		if rs.CohortClients < 0 {
+			return fmt.Errorf("acm: region %d (%s): CohortClients must be >= 0, got %d", i, rs.Region.Name, rs.CohortClients)
+		}
+	}
 	seen := map[string]bool{}
 	for i, a := range cfg.Arrivals {
 		if a.Name == "" {

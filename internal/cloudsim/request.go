@@ -26,6 +26,13 @@ type Request struct {
 	// Forwarded reports whether the request was forwarded to a region other
 	// than its entry region by the global forward plan.
 	Forwarded bool
+	// Batch is the number of client interactions this request stands for.
+	// Cohort-compressed populations submit one request per counted batch of
+	// statistically identical interactions; a VM serves the batch back to
+	// back (Erlang service time) and weights its throughput and drop
+	// counters by the batch size.  Zero or one means an ordinary individual
+	// request.
+	Batch int
 	// OnDone, if non-nil, is invoked exactly once when the request completes
 	// (successfully or not).
 	OnDone func(Outcome)
@@ -35,6 +42,15 @@ type Request struct {
 	// completion can be posted back to the issuing shard's mailbox instead of
 	// touching the issuer's state from a foreign goroutine.
 	OnDoneCtx func(eng *simclock.Engine, o Outcome)
+}
+
+// Weight returns the number of client interactions the request stands for:
+// Batch for a cohort batch, 1 for an ordinary request.
+func (r *Request) Weight() uint64 {
+	if r.Batch > 1 {
+		return uint64(r.Batch)
+	}
+	return 1
 }
 
 // Outcome describes how a request terminated.

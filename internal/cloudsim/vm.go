@@ -314,7 +314,7 @@ func (vm *VM) completeRejuvenation(now simclock.Time) {
 // request as dropped) when the VM is not ACTIVE.
 func (vm *VM) Dispatch(eng *simclock.Engine, req *Request) bool {
 	if vm.state != StateActive {
-		vm.dropped++
+		vm.dropped += req.Weight()
 		req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: eng.Now(), End: eng.Now(), Dropped: true})
 		return false
 	}
@@ -346,6 +346,16 @@ func (vm *VM) sampleServiceTime(req *Request) simclock.Duration {
 		factor = 1
 	}
 	mean := base * factor * vm.DegradationFactor()
+	if k := req.Batch; k > 1 {
+		// A cohort batch is k interactions served back to back: the batch's
+		// service time is the sum of k exponential demands (Erlang), floored
+		// at the same 5% of its total mean an individual request gets.
+		st := vm.rng.Erlang(k, mean)
+		if floor := mean * 0.05 * float64(k); st < floor {
+			st = floor
+		}
+		return simclock.Duration(st)
+	}
 	// Exponentially distributed service demand around the mean keeps the
 	// queueing behaviour realistic (M/M/c-like) without heavy tails that
 	// would swamp the anomaly-driven signal.
@@ -365,15 +375,26 @@ func (vm *VM) completeService(eng *simclock.Engine, req *Request, start simclock
 
 	if vm.state == StateRejuvenating || vm.state == StateFailed {
 		// The VM went down while this request was in service.
-		vm.dropped++
+		vm.dropped += req.Weight()
 		req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now, Dropped: true})
 		return
 	}
 
-	vm.served++
-	vm.intervalServed++
+	vm.served += req.Weight()
+	vm.intervalServed += req.Weight()
 	resp := now.Sub(req.Arrival).Seconds()
-	vm.intervalRespSum += resp
+	if k := req.Batch; k > 1 {
+		// Per-interaction view of the batch: each of the k interactions
+		// waited the same queue delay but occupied the server for 1/k of the
+		// batch's service span.  Feeding the normalised value into the
+		// response EWMA (and the interval mean, weighted by k) keeps the
+		// SLA-failure clause and the ResponseTimeMs feature on the scale of
+		// a single interaction.
+		resp = start.Sub(req.Arrival).Seconds() + now.Sub(start).Seconds()/float64(k)
+		vm.intervalRespSum += resp * float64(k)
+	} else {
+		vm.intervalRespSum += resp
+	}
 	const respBeta = 0.1
 	if !vm.respEWMAPrimed {
 		vm.respEWMA = resp
@@ -382,7 +403,7 @@ func (vm *VM) completeService(eng *simclock.Engine, req *Request, start simclock
 		vm.respEWMA = (1-respBeta)*vm.respEWMA + respBeta*resp
 	}
 
-	vm.injectAnomalies()
+	vm.injectAnomalies(req.Batch)
 	req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: start, End: now})
 
 	if vm.failurePointReached() {
@@ -393,9 +414,26 @@ func (vm *VM) completeService(eng *simclock.Engine, req *Request, start simclock
 }
 
 // injectAnomalies applies the per-request anomaly injection of the modified
-// TPC-W benchmark.
-func (vm *VM) injectAnomalies() {
+// TPC-W benchmark.  A cohort batch of n interactions injects the aggregate:
+// the number of leaking (resp. thread-leaking) interactions is binomial in n,
+// and the leaked megabytes are the Erlang sum of that many individual leaks —
+// exactly the distribution n individual requests would have produced, in two
+// RNG draws instead of 2n.
+func (vm *VM) injectAnomalies(batch int) {
 	a := vm.cfg.Anomalies
+	if batch > 1 {
+		if leaks := vm.rng.Binomial(batch, a.LeakProbability); leaks > 0 {
+			vm.leakedMB += vm.rng.Erlang(leaks, a.LeakSizeMB)
+			vm.anomalyEvents += uint64(leaks)
+			vm.intervalAnomaly += uint64(leaks)
+		}
+		if threads := vm.rng.Binomial(batch, a.ThreadProbability); threads > 0 {
+			vm.zombieThreads += threads
+			vm.anomalyEvents += uint64(threads)
+			vm.intervalAnomaly += uint64(threads)
+		}
+		return
+	}
 	if vm.rng.Bool(a.LeakProbability) {
 		vm.leakedMB += vm.rng.Exp(a.LeakSizeMB)
 		vm.anomalyEvents++
@@ -443,7 +481,7 @@ func (vm *VM) fail(eng *simclock.Engine) {
 func (vm *VM) failQueued(eng *simclock.Engine, vmID string) {
 	now := eng.Now()
 	for _, q := range vm.queue {
-		vm.dropped++
+		vm.dropped += q.Weight()
 		q.finish(eng, Outcome{Request: q, VM: vmID, Start: now, End: now, Dropped: true})
 	}
 	vm.queue = nil

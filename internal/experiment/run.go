@@ -143,8 +143,11 @@ func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
 
 	res.MeanResponseTime = met.MeanResponseTime("")
 	res.TailResponseTime = rec.Series("response_time", "all_clients").TailMean(sc.TailFraction)
-	if completed := met.Completed(""); completed > 0 {
-		res.SLAViolationRatio = float64(met.SLAViolations("")) / float64(completed)
+	// SLA violations are counted on latency samples, which cohort batches do
+	// not produce — so the ratio divides by the sample count, not the weighted
+	// completion count (identical whenever no cohorts run).
+	if samples := met.ResponseSamples(""); samples > 0 {
+		res.SLAViolationRatio = float64(met.SLAViolations("")) / float64(samples)
 	}
 	res.SuccessRatio = met.SuccessRatio("")
 

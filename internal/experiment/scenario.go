@@ -57,6 +57,23 @@ type Scenario struct {
 	// GlobalClients attaches this many emulated browsers to the director
 	// instead of a fixed region.
 	GlobalClients int
+	// CohortClients attaches this many cohort-compressed clients to the
+	// director (requires GSLB).  Per-region cohort populations are configured
+	// on the RegionSetup's own CohortClients field instead.
+	CohortClients int
+	// TracerFraction is the fraction of every cohort population simulated as
+	// individual browsers to feed the response-time series (acm default 1%
+	// when zero).
+	TracerFraction float64
+	// ThinkTime overrides the mean client think time (TPC-W default 7 s when
+	// zero).  Million-client cohort scenarios stretch it so the offered load
+	// stays within the deployed capacity.
+	ThinkTime simclock.Duration
+	// CohortTick is the cohort state-split cadence (1 s when zero).
+	CohortTick simclock.Duration
+	// CohortMaxBatch caps the interactions one batched cohort request stands
+	// for (64 when zero).
+	CohortMaxBatch int
 	// Arrivals lists open-loop (optionally inhomogeneous-Poisson) request
 	// streams, pinned to a region or attached to the director.
 	Arrivals []acm.ArrivalSetup
@@ -119,6 +136,11 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		EventEpoch:      s.EventEpoch,
 		GSLB:            s.GSLB,
 		GlobalClients:   s.GlobalClients,
+		CohortClients:   s.CohortClients,
+		TracerFraction:  s.TracerFraction,
+		ThinkTime:       s.ThinkTime,
+		CohortTick:      s.CohortTick,
+		CohortMaxBatch:  s.CohortMaxBatch,
 		Arrivals:        s.Arrivals,
 		Faults:          s.Faults,
 	}
@@ -150,6 +172,17 @@ func (s Scenario) TotalClients() int {
 	n := 0
 	for _, r := range s.Regions {
 		n += r.Clients
+	}
+	return n
+}
+
+// EffectiveClients returns the total number of clients the scenario
+// represents: individually simulated browsers (pinned, surge and global) plus
+// every cohort-compressed client.
+func (s Scenario) EffectiveClients() int {
+	n := s.GlobalClients + s.CohortClients
+	for _, r := range s.Regions {
+		n += r.Clients + r.CohortClients
 	}
 	return n
 }
@@ -338,6 +371,68 @@ func Figure4EventLoopScenario(seed uint64) Scenario {
 	}
 	sc.EventWorkers = 4
 	return sc
+}
+
+// MegaclientsScenario is the cohort-compression showcase: 10^6 effective
+// clients on the 16-shard megaregion, where simulating a browser state
+// machine per client would be ~500x today's largest population.  The cohort
+// represents the clients as counted (mix-state, think-phase) buckets split
+// per tick by binomial draws and submits MaxBatch-sized batched requests, so
+// event volume scales with batches per tick, not clients; a 1% tracer
+// sub-population (10^4 real browsers) feeds the response-time series.  The
+// think time is stretched to 60 s to keep the 10^6-client offered load
+// (~16.7k interactions/s) within the 4x10^3-VM pool's capacity, mirroring
+// how real mega-populations are mostly idle at any instant.
+func MegaclientsScenario(seed uint64) Scenario {
+	sc := megaregionScenario("megaclients", seed, MegaregionShards, MegaregionShards)
+	sc.EventWorkers = MegaregionShards
+	sc.Regions[0].Clients = 0
+	sc.Regions[0].CohortClients = 1_000_000
+	sc.ThinkTime = 60 * simclock.Second
+	sc.CohortMaxBatch = 128
+	return sc.withDefaults()
+}
+
+// GlobalMegaclientsScenario spreads 1.2x10^6 cohort-compressed clients over
+// the global traffic director: three 10^3-VM regions, least-load routing
+// re-weighted every 15 s, and a small pinned browser population per region so
+// the forward-plan machinery stays exercised alongside the director.  The
+// cohort batches ride the per-lane GSLB dispatchers like global browsers do,
+// so routing, failover state and cross-lane mailbox traffic all see
+// million-client load.
+func GlobalMegaclientsScenario(seed uint64) Scenario {
+	mkRegion := func(name string) cloudsim.RegionConfig {
+		return cloudsim.RegionConfig{
+			Name:           name,
+			Provider:       "aws",
+			Location:       "us-east-1 (N. Virginia)",
+			Type:           cloudsim.M3Medium,
+			InitialActive:  800,
+			InitialStandby: 200,
+			MaxVMs:         1000,
+			Shards:         8,
+		}
+	}
+	return Scenario{
+		Name: "global-megaclients",
+		Seed: seed,
+		Regions: []acm.RegionSetup{
+			{Region: mkRegion("region1"), Clients: 32, Mix: workload.BrowsingMix()},
+			{Region: mkRegion("region2"), Clients: 32, Mix: workload.BrowsingMix()},
+			{Region: mkRegion("region3"), Clients: 32, Mix: workload.BrowsingMix()},
+		},
+		CohortClients:  1_200_000,
+		ThinkTime:      60 * simclock.Second,
+		CohortMaxBatch: 128,
+		EventWorkers:   8,
+		Horizon:        30 * simclock.Minute,
+		GSLB: gslb.Config{
+			Policy: gslb.PolicyLeastLoad,
+		},
+		VMC: pcam.Config{
+			ElasticityEnabled: false,
+		},
+	}.withDefaults()
 }
 
 // globalRegions is the shared deployment of the global-* scenarios: the

@@ -176,6 +176,80 @@ func (r *RNG) Poisson(mean float64) int {
 	}
 }
 
+// Binomial returns a binomially distributed count: the number of successes
+// among n independent trials with success probability p.  Cohort-compressed
+// client populations use it to split a counted state bucket across a
+// transition ("how many of the n thinking clients fire this tick").  Small
+// means use inversion (one uniform walked down the CDF); large means use the
+// normal approximation clamped to the support, mirroring Poisson above.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		// Count failures instead: keeps q^n away from underflow in the
+		// inversion branch and shortens the expected CDF walk.
+		return n - r.Binomial(n, 1-p)
+	}
+	np := float64(n) * p
+	if np > 50 {
+		v := r.Normal(np, math.Sqrt(np*(1-p)))
+		if v < 0 {
+			return 0
+		}
+		k := int(v + 0.5)
+		if k > n {
+			return n
+		}
+		return k
+	}
+	// Inversion (BINV): start at P(0) = q^n and walk the CDF with the pmf
+	// recurrence P(k+1) = P(k) * (n-k)/(k+1) * p/q.  With p <= 0.5 and
+	// np <= 50, q^n >= e^-51, comfortably inside float range.
+	q := 1 - p
+	s := p / q
+	f := math.Pow(q, float64(n))
+	u := r.Float64()
+	for k := 0; ; k++ {
+		if u < f {
+			return k
+		}
+		u -= f
+		if k == n {
+			// Floating-point slack left u above the summed pmf; the mass
+			// beyond k = n is zero, so clamp to the support.
+			return n
+		}
+		f *= s * float64(n-k) / float64(k+1)
+	}
+}
+
+// Erlang returns an Erlang-distributed value: the sum of n independent
+// exponential draws, each with the given mean (total mean n*mean).  A VM
+// serving a cohort batch of n interactions back to back uses it as the
+// batch's service time.  Large n uses the normal approximation of the sum.
+func (r *RNG) Erlang(n int, mean float64) float64 {
+	if n <= 0 || mean <= 0 {
+		return 0
+	}
+	if n > 50 {
+		fn := float64(n)
+		v := r.Normal(fn*mean, math.Sqrt(fn)*mean)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += r.Exp(mean)
+	}
+	return total
+}
+
 // Perm returns a random permutation of [0,n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -218,8 +218,11 @@ func (p *Population) Region() string { return p.cfg.Region }
 // Size returns the number of browsers.
 func (p *Population) Size() int { return len(p.browsers) }
 
-// Browsers returns the individual browsers.
-func (p *Population) Browsers() []*Browser { return p.browsers }
+// Browsers returns the individual browsers.  The returned slice is a copy:
+// mutating it cannot perturb the population's internal start/stop ordering.
+func (p *Population) Browsers() []*Browser {
+	return append([]*Browser(nil), p.browsers...)
+}
 
 // Start launches every browser, spreading starts over the ramp-up window.
 func (p *Population) Start(eng *simclock.Engine) {
@@ -363,6 +366,12 @@ func (m *Metrics) issued(region string) {
 	m.global.issued++
 }
 
+// issuedN counts n interactions issued at once (a cohort batch).
+func (m *Metrics) issuedN(region string, n uint64) {
+	m.region(region).issued += n
+	m.global.issued += n
+}
+
 func (m *Metrics) record(region string, o cloudsim.Outcome) {
 	rm := m.region(region)
 	if o.Dropped {
@@ -379,6 +388,22 @@ func (m *Metrics) record(region string, o cloudsim.Outcome) {
 		rm.slaMiss++
 		m.global.slaMiss++
 	}
+}
+
+// recordBatch folds the outcome of a cohort batch of n interactions into the
+// counters.  Batches carry aggregate counts only: they move the completed and
+// dropped counters by their weight but add no response-time sample — the
+// latency distribution (and with it slaMiss) is fed exclusively by
+// individually simulated clients, i.e. browsers and cohort tracers.
+func (m *Metrics) recordBatch(region string, o cloudsim.Outcome, n uint64) {
+	rm := m.region(region)
+	if o.Dropped {
+		rm.dropped += n
+		m.global.dropped += n
+		return
+	}
+	rm.completed += n
+	m.global.completed += n
 }
 
 func (m *Metrics) recordTimeout(region string) {
@@ -453,6 +478,18 @@ func (m *Metrics) SLAViolations(region string) uint64 {
 		return m.global.slaMiss
 	}
 	return m.region(region).slaMiss
+}
+
+// ResponseSamples returns the number of response-time samples recorded for
+// the region ("" = global).  Without cohorts this equals Completed; with
+// cohort-compressed populations only the tracer sub-population feeds the
+// latency series, so ratios over the response-time distribution (mean RT, SLA
+// violations) must divide by this count, not by the batch-weighted Completed.
+func (m *Metrics) ResponseSamples(region string) uint64 {
+	if region == "" {
+		return uint64(m.global.resp.Count())
+	}
+	return uint64(m.region(region).resp.Count())
 }
 
 // MeanResponseTime returns the mean response time in seconds observed by the
