@@ -14,7 +14,7 @@ GO ?= go
 # bench-baseline and the CI bench-regression job (which runs `make
 # bench-json`) all share this one definition, so the gate, the baseline and
 # CI can never record different benchmark sets.
-BENCH_GATE = $(GO) test -bench='RegionSharded|Figure3|GlobalDirector|CohortPopulation|Megaclients' -benchtime=1x -benchmem -run='^$$' .
+BENCH_GATE = $(GO) test -bench='RegionSharded|Figure3|GlobalDirector|GlobalLatency|CohortPopulation|Megaclients' -benchtime=1x -benchmem -run='^$$' .
 
 .PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline
 

@@ -45,3 +45,36 @@ func runGlobalDirectorBench(b *testing.B, eventWorkers int) {
 
 func BenchmarkGlobalDirector_1(b *testing.B) { runGlobalDirectorBench(b, 1) }
 func BenchmarkGlobalDirector_4(b *testing.B) { runGlobalDirectorBench(b, 4) }
+
+// runGlobalLatencyBench simulates 30 minutes of the global-cablecut scenario
+// per iteration: latency-policy routing with per-stream weight rows, the
+// per-completion observation tap, the EWMA/P² fold at every 15 s probe and a
+// mid-run link fault.  This is the lid on what the latency estimator adds to
+// the request path relative to BenchmarkGlobalDirector.
+func runGlobalLatencyBench(b *testing.B, eventWorkers int) {
+	b.Helper()
+	np, err := experiment.PolicyByKey("policy2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := experiment.BuildScenario("global-cablecut", 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Horizon = 30 * simclock.Minute
+		sc.EventWorkers = eventWorkers
+		res, err := experiment.Run(sc, np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Eras == 0 {
+			b.Fatalf("degenerate run: eras=%d", res.Eras)
+		}
+		b.ReportMetric(res.SuccessRatio, "success-ratio")
+	}
+}
+
+func BenchmarkGlobalLatency_1(b *testing.B) { runGlobalLatencyBench(b, 1) }
+func BenchmarkGlobalLatency_4(b *testing.B) { runGlobalLatencyBench(b, 4) }

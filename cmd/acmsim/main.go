@@ -50,7 +50,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
 		tickWork  = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
 		eventWork = flag.Int("event-workers", -1, "run the sharded event loop with this many shard-loop goroutines (0 forces the serial engine, >= 1 selects the parallel event loop; byte-identical across all values >= 1; -1 keeps each scenario's own setting)")
-		gslbPol   = flag.String("gslb-policy", "", "global-traffic-director routing policy: static, rr, leastload or failover (overrides the scenario's own setting; GSLB deployments always run on the event loop)")
+		gslbPol   = flag.String("gslb-policy", "", "global-traffic-director routing policy: static, rr, leastload, failover or latency (overrides the scenario's own setting; GSLB deployments always run on the event loop)")
+		rttSpec   = flag.String("rtt", "", "per-stream round-trip matrix for latency-aware routing, milliseconds per deployed region: \"global=60,120;americas=80,140\" (overrides the scenario's own RTT rows)")
 		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
@@ -96,7 +97,7 @@ func main() {
 		for _, f := range []string{"scenario", "config", "dump-config", "regions", "clients", "mix",
 			"cohort-clients", "tracer-fraction",
 			"policy", "predictor", "beta", "interval", "shards", "tick-workers", "event-workers",
-			"gslb-policy", "csv"} {
+			"gslb-policy", "rtt", "csv"} {
 			if explicit[f] {
 				fmt.Fprintf(os.Stderr, "acmsim: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
 				os.Exit(1)
@@ -115,7 +116,7 @@ func main() {
 		}
 	}
 
-	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *rttSpec, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
@@ -147,7 +148,7 @@ func runMatrix(scenarioList, policyList, betaList string, reps, workers int, see
 	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
 }
 
-func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, rttSpec, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -306,6 +307,20 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 		}
 		scenario.GSLB.Policy = kind
 	}
+	// -rtt overrides the per-stream round-trip matrix.  Any non-empty matrix
+	// makes the deployment latency-aware (RTT simulation + passive learning)
+	// regardless of routing policy, so the policies can be compared on the
+	// same network.
+	if rttSpec != "" {
+		rtt, err := parseRTT(rttSpec, len(scenario.Regions))
+		if err != nil {
+			return err
+		}
+		if !scenario.GSLB.Enabled() {
+			return fmt.Errorf("-rtt: scenario %q has no GSLB config to attach a round-trip matrix to", scenario.Name)
+		}
+		scenario.GSLB.RTT = rtt
+	}
 	if dumpPath != "" {
 		if err := experiment.SaveScenarioFile(dumpPath, scenario); err != nil {
 			return err
@@ -343,6 +358,45 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 		fmt.Println("wrote series to", csvPath)
 	}
 	return nil
+}
+
+// parseRTT turns "global=60,120;americas=80,140" into the per-stream
+// round-trip matrix, one millisecond entry per deployed region in deployment
+// order.  Row lengths are checked here so a mismatch names the stream instead
+// of surfacing as a generic gslb validation error.
+func parseRTT(spec string, regions int) (map[string][]float64, error) {
+	rtt := map[string][]float64{}
+	for _, rowSpec := range strings.Split(spec, ";") {
+		rowSpec = strings.TrimSpace(rowSpec)
+		if rowSpec == "" {
+			continue
+		}
+		stream, list, ok := strings.Cut(rowSpec, "=")
+		stream = strings.TrimSpace(stream)
+		if !ok || stream == "" {
+			return nil, fmt.Errorf("-rtt: row %q is not stream=ms1,ms2,...", rowSpec)
+		}
+		if _, dup := rtt[stream]; dup {
+			return nil, fmt.Errorf("-rtt: stream %q listed twice", stream)
+		}
+		entries := strings.Split(list, ",")
+		if len(entries) != regions {
+			return nil, fmt.Errorf("-rtt: stream %q has %d entries, want one per deployed region (%d)", stream, len(entries), regions)
+		}
+		row := make([]float64, len(entries))
+		for i, e := range entries {
+			ms, err := strconv.ParseFloat(strings.TrimSpace(e), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-rtt: stream %q entry %d: %v", stream, i, err)
+			}
+			row[i] = ms
+		}
+		rtt[stream] = row
+	}
+	if len(rtt) == 0 {
+		return nil, fmt.Errorf("-rtt: no rows in %q", spec)
+	}
+	return rtt, nil
 }
 
 // parseRegions turns "1,3" + "320,128" (and an optional "-cohort-clients"
@@ -446,6 +500,15 @@ func printReport(mgr *acm.Manager) {
 			fmt.Println("   health transitions:")
 			for _, t := range trans {
 				fmt.Println("    ", t)
+			}
+		}
+		if ewma, p95 := mgr.GSLBLatencyEstimates(); ewma != nil {
+			fmt.Println("   learned round trips (ms, EWMA / p95):")
+			for _, sname := range d.Streams() {
+				for _, rname := range mgr.RegionNames() {
+					key := sname + ":" + rname
+					fmt.Printf("    %s: %.1f / %.1f\n", key, ewma[key], p95[key])
+				}
 			}
 		}
 	}

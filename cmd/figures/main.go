@@ -16,6 +16,7 @@
 //	figures -ablation homogeneous          # Policy 1 on homogeneous regions
 //	figures -ablation predictor            # oracle vs. trained F2PM predictor
 //	figures -ablation elasticity           # ADDVMS under a workload surge
+//	figures -ablation cablecut             # passive latency learning through a cable cut
 //	figures -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
 //	        -sweep-csv sweep.csv -journal sweep.journal   # matrix sweep
 package main
@@ -27,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 
 	"repro/internal/experiment"
 	"repro/internal/simclock"
@@ -341,8 +343,32 @@ func runAblation(kind string, seed uint64, horizon simclock.Duration, opt experi
 			Title: "client response time (s)", Height: 10, Width: 72}))
 		fmt.Printf("mean response time %.3fs, SLA violations %.2f%%, success ratio %.4f\n",
 			res.MeanResponseTime, 100*res.SLAViolationRatio, res.SuccessRatio)
+	case "cablecut":
+		cc, err := experiment.BuildScenario("global-cablecut", seed)
+		if err != nil {
+			return err
+		}
+		cc.Horizon = horizon
+		np, _ := experiment.PolicyByKey("policy2")
+		res, err := experiment.Run(cc, np)
+		if err != nil {
+			return err
+		}
+		fmt.Println("passive latency learning through a mid-run cable cut (americas:region1 RTT doubles at minute 12):")
+		fmt.Print(trace.ASCIIPlot(res.Recorder.Set("gslb_rtt"), trace.PlotOptions{
+			Title: "learned round trip per stream:region (ms, EWMA)", Height: 10, Width: 72}))
+		fmt.Print(trace.ASCIIPlot(res.Recorder.Set("gslb_routed"), trace.PlotOptions{
+			Title: "cumulative routed requests per region", Height: 10, Width: 72}))
+		regions := make([]string, 0, len(res.GSLBRouted))
+		for region := range res.GSLBRouted {
+			regions = append(regions, region)
+		}
+		sort.Strings(regions)
+		for _, region := range regions {
+			fmt.Printf("  %s: routed=%d\n", region, res.GSLBRouted[region])
+		}
 	default:
-		return fmt.Errorf("unknown ablation %q (use beta, k, baseline, homogeneous, predictor or elasticity)", kind)
+		return fmt.Errorf("unknown ablation %q (use beta, k, baseline, homogeneous, predictor, elasticity or cablecut)", kind)
 	}
 	return nil
 }

@@ -150,6 +150,10 @@ type Config struct {
 	// Faults is the scripted region-outage schedule (see RegionFault), the
 	// stimulus the director's health-driven failover responds to.
 	Faults []RegionFault
+	// LinkFaults is the scripted network-path degradation schedule (see
+	// LinkFault), the stimulus the director's passive latency learning
+	// responds to.  Requires a latency-aware GSLB configuration.
+	LinkFaults []LinkFault
 }
 
 func (c Config) withDefaults() Config {
@@ -622,6 +626,7 @@ func (m *Manager) Start() {
 	}
 	m.startDirector()
 	m.scheduleFaults()
+	m.scheduleLinkFaults()
 	m.stopLoop = m.eng.Ticker(m.cfg.ControlInterval, func(eng *simclock.Engine) { m.controlEra(eng) })
 }
 
@@ -751,6 +756,18 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 		for i, name := range m.regionNames {
 			m.recorder.Record("gslb_health", name, now, float64(states[i]))
 			m.recorder.Record("gslb_routed", name, now, float64(routed[name]))
+		}
+		// Latency-aware deployments additionally record the learned
+		// per-lane round-trip estimates (milliseconds, "stream:region"
+		// labels) — the series the cable-cut golden pins the learning
+		// trajectory on.  Absent otherwise, so pre-existing goldens keep
+		// their bytes.
+		if m.director.LatencyAware() {
+			for s, sname := range m.director.Streams() {
+				for r, rname := range m.regionNames {
+					m.recorder.Record("gslb_rtt", sname+":"+rname, now, m.director.LatencyEstimateMs(s, r))
+				}
+			}
 		}
 	}
 }

@@ -81,6 +81,20 @@ type eventLoop struct {
 	gslbDisp   []workload.Dispatcher
 	globalPops []*workload.Population
 
+	// Latency-aware GSLB state (zero-valued unless the director keeps
+	// latency estimates).  streamIdx maps a request's EntryRegion label to
+	// its population-stream index; laneRTT[g] is lane g's snapshot of the
+	// immutable ground-truth RTT matrix (milliseconds, [stream][region]),
+	// republished whenever a scripted link fault rewrites the matrix on the
+	// control timeline; gslbObs[g] buffers lane g's completion observations
+	// — appended in lane event order, drained into the director in
+	// lane-index order right before each probe tick, which keeps the
+	// estimator folds byte-reproducible for every worker count.
+	latAware  bool
+	streamIdx map[string]int
+	laneRTT   [][][]float64
+	gslbObs   [][]gslbObs
+
 	// Open-loop arrival streams (global or region-pinned) and the lane
 	// engine each one runs on.
 	varying     []*workload.VaryingOpenLoop
@@ -142,6 +156,23 @@ func (el *eventLoop) buildGlobalTraffic() {
 		el.gslbRouted = make([][]uint64, el.total)
 		el.gslbDisp = make([]workload.Dispatcher, el.total)
 		initial := m.director.Table()
+		if m.director.LatencyAware() {
+			el.latAware = true
+			streams := m.director.Streams()
+			el.streamIdx = make(map[string]int, len(streams))
+			matrix := make([][]float64, len(streams))
+			for s, name := range streams {
+				el.streamIdx[name] = s
+				row := make([]float64, len(m.regions))
+				copy(row, m.cfg.GSLB.RTT[name]) // streams without a row keep 0 ms
+				matrix[s] = row
+			}
+			el.laneRTT = make([][][]float64, el.total)
+			el.gslbObs = make([][]gslbObs, el.total)
+			for g := range el.laneRTT {
+				el.laneRTT[g] = matrix
+			}
+		}
 		for g := 0; g < el.total; g++ {
 			el.gslbTables[g] = initial
 			el.gslbRouted[g] = make([]uint64, len(m.regions))
@@ -213,18 +244,36 @@ func (el *eventLoop) buildGlobalTraffic() {
 	}
 }
 
+// gslbObs is one buffered completion observation: the request's population
+// stream, the region that served it, the ground-truth round trip it
+// experienced (captured at dispatch, so in-flight requests report the
+// pre-fault value after a link fault — exactly what a passive learner sees)
+// and the number of client interactions it stood for.
+type gslbObs struct {
+	stream, region int
+	rttMs          float64
+	weight         uint64
+}
+
 // gslbDispatcher returns lane g's director-facing entry point: the routing
 // table snapshot picks the destination region, a lane-local RNG stream picks
 // the destination shard, and cross-lane submissions ride the mailbox with
 // the completion re-homed to this lane — exactly the discipline the
 // plan-forwarding dispatcher follows, so byte-identical output for every
-// worker count is preserved.
+// worker count is preserved.  On a latency-aware deployment the dispatcher
+// also simulates the stream→region round trip (half outbound, half on the
+// client-visible completion) and taps every completion into this lane's
+// observation buffer for the director's passive latency learning.
 func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 	m := el.mgr
 	rng := simclock.NewStreamRNG(m.cfg.Seed^hashString("gslb-route"), uint64(g))
 	rr := uint64(g) // stagger each lane's round-robin start
 	return workload.DispatcherFunc(func(eng *simclock.Engine, req *cloudsim.Request) {
-		ri := el.gslbTables[g].Route(rng, &rr)
+		stream := 0
+		if el.latAware {
+			stream = el.streamIdx[req.EntryRegion] // unknown labels fold into stream 0
+		}
+		ri := el.gslbTables[g].RouteStream(stream, rng, &rr)
 		el.gslbRouted[g][ri]++
 		dvmc := m.vmcs[m.regionNames[ri]]
 		ds := 0
@@ -232,13 +281,93 @@ func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 			ds = rng.Intn(n)
 		}
 		dg := el.base[ri] + ds
+
+		if !el.latAware {
+			if dg == g {
+				dvmc.SubmitShard(eng, ds, req)
+				return
+			}
+			req.RehomeOnDone(el.se, g, nil)
+			el.se.Post(eng, dg, func(dst *simclock.Engine) { dvmc.SubmitShard(dst, ds, req) })
+			return
+		}
+
+		// The tap wraps OnDone before any re-homing, so it always runs on
+		// this lane: the buffer append needs no synchronisation and the
+		// return leg shifts the client-visible completion exactly like the
+		// plan-forwarding dispatcher's transform does.
+		rttMs := el.laneRTT[g][stream][ri]
+		oneWay := simclock.Duration(rttMs / 2000)
+		weight := req.Weight()
+		prev := req.OnDone
+		req.OnDone = func(o cloudsim.Outcome) {
+			o.End = o.End.Add(oneWay)
+			el.gslbObs[g] = append(el.gslbObs[g], gslbObs{stream: stream, region: ri, rttMs: rttMs, weight: weight})
+			if prev != nil {
+				prev(o)
+			}
+		}
 		if dg == g {
-			dvmc.SubmitShard(eng, ds, req)
+			if oneWay > 0 {
+				eng.ScheduleFunc(oneWay, func(e *simclock.Engine) { dvmc.SubmitShard(e, ds, req) })
+			} else {
+				dvmc.SubmitShard(eng, ds, req)
+			}
 			return
 		}
 		req.RehomeOnDone(el.se, g, nil)
-		el.se.Post(eng, dg, func(dst *simclock.Engine) { dvmc.SubmitShard(dst, ds, req) })
+		sendAt := eng.Now().Add(oneWay)
+		el.se.Post(eng, dg, func(dst *simclock.Engine) {
+			if remaining := sendAt.Sub(dst.Now()); remaining > 0 {
+				dst.ScheduleFunc(remaining, func(e2 *simclock.Engine) { dvmc.SubmitShard(e2, ds, req) })
+			} else {
+				dvmc.SubmitShard(dst, ds, req)
+			}
+		})
 	})
+}
+
+// flushGSLBObs drains every lane's observation buffer into the director in
+// lane-index order — the fixed fold order that keeps the estimator's
+// floating-point state byte-reproducible for every worker count.  Called on
+// the control timeline right before each probe tick, while the shard loops
+// are idle.
+func (el *eventLoop) flushGSLBObs(d *gslb.Director) {
+	if !el.latAware {
+		return
+	}
+	for g := range el.gslbObs {
+		for _, o := range el.gslbObs[g] {
+			d.Observe(o.stream, o.region, o.rttMs, o.weight)
+		}
+		el.gslbObs[g] = el.gslbObs[g][:0]
+	}
+}
+
+// scaleLinkRTT multiplies the ground-truth round trip of one
+// (stream, region) path by factor and republishes the rewritten matrix to
+// every lane snapshot, returning the previous value so a bounded fault can
+// restore it.  Control timeline only (epoch barrier).
+func (el *eventLoop) scaleLinkRTT(stream, region int, factor float64) float64 {
+	prev := el.laneRTT[0][stream][region]
+	el.setLinkRTT(stream, region, prev*factor)
+	return prev
+}
+
+// setLinkRTT rewrites one entry of the ground-truth RTT matrix.  The matrix
+// is immutable once published: the rewrite builds a fresh copy and swaps
+// every lane's snapshot pointer, so in-flight dispatches keep reading the
+// matrix they started with.
+func (el *eventLoop) setLinkRTT(stream, region int, ms float64) {
+	cur := el.laneRTT[0]
+	next := make([][]float64, len(cur))
+	for s := range cur {
+		next[s] = append([]float64(nil), cur[s]...)
+	}
+	next[stream][region] = ms
+	for g := range el.laneRTT {
+		el.laneRTT[g] = next
+	}
 }
 
 // installGSLBTable republishes a fresh routing-table snapshot to every

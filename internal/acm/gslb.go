@@ -15,6 +15,7 @@ package acm
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cloudsim"
 	"repro/internal/gslb"
@@ -52,6 +53,29 @@ type RegionFault struct {
 	Duration simclock.Duration
 	// KeepActive is the number of ACTIVE VMs left during the outage.
 	KeepActive int
+}
+
+// LinkFault scripts one network-path degradation for latency-routing
+// experiments: at time At the ground-truth round trip between one population
+// stream and one region is multiplied by Factor (2 = the classic submarine
+// cable cut forcing traffic the long way round), and after Duration the
+// previous value is restored; zero Duration makes the cut permanent.  The
+// director is never told — it learns the new RTT passively from observed
+// completions, which is exactly the traffic shift the cable-cut scenarios
+// pin.  Requires a latency-aware GSLB config with an RTT row for Stream.
+type LinkFault struct {
+	// Stream names the population stream whose path degrades ("global" for
+	// the director-attached browsers/cohorts, or a global arrival name).
+	Stream string
+	// Region names the region at the far end of the path.
+	Region string
+	// At is when the degradation starts.
+	At simclock.Duration
+	// Duration is how long it lasts; zero makes it permanent.
+	Duration simclock.Duration
+	// Factor multiplies the path's RTT; must be positive and finite
+	// (2 doubles it, 0.5 would model a better route coming up).
+	Factor float64
 }
 
 // validateGlobal rejects configurations the global-traffic wiring cannot
@@ -130,7 +154,59 @@ func (m *Manager) validateGlobal() error {
 			}
 		}
 	}
+	if len(cfg.LinkFaults) > 0 && !cfg.GSLB.LatencyAware() {
+		return fmt.Errorf("acm: LinkFaults require a latency-aware GSLB config (latency policy or an RTT matrix)")
+	}
+	streamKnown := map[string]bool{}
+	for _, s := range m.globalStreamNames() {
+		streamKnown[s] = true
+	}
+	for i, f := range cfg.LinkFaults {
+		if !streamKnown[f.Stream] {
+			return fmt.Errorf("acm: link fault %d names unknown population stream %q", i, f.Stream)
+		}
+		if _, ok := m.regionIndex[f.Region]; !ok {
+			return fmt.Errorf("acm: link fault %d names unknown region %q", i, f.Region)
+		}
+		if len(cfg.GSLB.RTT[f.Stream]) == 0 {
+			return fmt.Errorf("acm: link fault %d degrades stream %q, which has no GSLB.RTT row (the ground-truth path would stay at 0 ms)", i, f.Stream)
+		}
+		if f.At < 0 || f.Duration < 0 {
+			return fmt.Errorf("acm: link fault %d for %s:%s has negative At/Duration", i, f.Stream, f.Region)
+		}
+		if !(f.Factor > 0) || math.IsInf(f.Factor, 0) {
+			return fmt.Errorf("acm: link fault %d for %s:%s has Factor %v; must be positive and finite", i, f.Stream, f.Region, f.Factor)
+		}
+		// Like region faults, overlapping degradations of one path would
+		// interleave their scale/restore pairs and reinstate stale values.
+		for j, g := range cfg.LinkFaults[:i] {
+			if g.Stream != f.Stream || g.Region != f.Region {
+				continue
+			}
+			first, second := g, f
+			if second.At < first.At {
+				first, second = second, first
+			}
+			if first.Duration == 0 || second.At <= first.At+first.Duration {
+				return fmt.Errorf("acm: link faults %d and %d overlap on %s:%s (a permanent fault conflicts with any later one)", j, i, f.Stream, f.Region)
+			}
+		}
+	}
 	return nil
+}
+
+// globalStreamNames returns the director's population streams in deployment
+// order: the global browser/cohort label first, then every globally attached
+// arrival stream in configuration order.  The order is the latency
+// estimator's stream indexing, so it is part of the determinism contract.
+func (m *Manager) globalStreamNames() []string {
+	streams := []string{"global"}
+	for _, a := range m.cfg.Arrivals {
+		if a.Region == "" {
+			streams = append(streams, a.Name)
+		}
+	}
+	return streams
 }
 
 // buildDirector assembles the gslb.Director over the deployment's regions,
@@ -139,7 +215,7 @@ func (m *Manager) buildDirector() error {
 	if !m.cfg.GSLB.Enabled() {
 		return nil
 	}
-	d, err := gslb.NewDirector(m.cfg.GSLB, m.regionNames, func(i int) cloudsim.Telemetry {
+	d, err := gslb.NewDirector(m.cfg.GSLB, m.regionNames, m.globalStreamNames(), func(i int) cloudsim.Telemetry {
 		return m.regions[i].Telemetry()
 	})
 	if err != nil {
@@ -158,11 +234,42 @@ func (m *Manager) startDirector() {
 		return
 	}
 	m.stopProbe = m.eng.Ticker(m.director.Config().ProbeInterval, func(eng *simclock.Engine) {
+		// Flush the buffered completion observations first, so the tick
+		// folds the freshest interval into the latency estimates before the
+		// routing table is rebuilt.
+		if m.el != nil {
+			m.el.flushGSLBObs(m.director)
+		}
 		table := m.director.Tick(eng.Now())
 		if m.el != nil {
 			m.el.installGSLBTable(table)
 		}
 	})
+}
+
+// scheduleLinkFaults arms the scripted network-path degradations on the
+// control timeline.  Validation guaranteed a latency-aware GSLB deployment,
+// which always runs on the event loop.
+func (m *Manager) scheduleLinkFaults() {
+	if len(m.cfg.LinkFaults) == 0 {
+		return
+	}
+	streamIndex := map[string]int{}
+	for i, s := range m.globalStreamNames() {
+		streamIndex[s] = i
+	}
+	for _, f := range m.cfg.LinkFaults {
+		f := f
+		s, r := streamIndex[f.Stream], m.regionIndex[f.Region]
+		m.eng.ScheduleFunc(f.At, func(e *simclock.Engine) {
+			prev := m.el.scaleLinkRTT(s, r, f.Factor)
+			if f.Duration > 0 {
+				e.ScheduleFunc(f.Duration, func(*simclock.Engine) {
+					m.el.setLinkRTT(s, r, prev)
+				})
+			}
+		})
+	}
 }
 
 // scheduleFaults arms the scripted region outages on the control timeline.
@@ -230,4 +337,24 @@ func (m *Manager) GSLBTransitions() []string {
 		out[i] = t.String()
 	}
 	return out
+}
+
+// GSLBLatencyEstimates returns the director's learned round-trip estimates
+// in milliseconds, keyed "stream:region": the EWMA the routing weights use
+// and the P² p95 of the raw observations.  Both maps are nil unless the
+// deployment is latency-aware.
+func (m *Manager) GSLBLatencyEstimates() (ewma, p95 map[string]float64) {
+	if m.director == nil || !m.director.LatencyAware() {
+		return nil, nil
+	}
+	ewma = map[string]float64{}
+	p95 = map[string]float64{}
+	for s, sname := range m.director.Streams() {
+		for r, rname := range m.regionNames {
+			key := sname + ":" + rname
+			ewma[key] = m.director.LatencyEstimateMs(s, r)
+			p95[key] = m.director.LatencyP95Ms(s, r)
+		}
+	}
+	return ewma, p95
 }

@@ -18,6 +18,15 @@ func twoRegionSetups(clients int) []RegionSetup {
 	}
 }
 
+// latencyGSLB is a minimal latency-aware GSLB config for the two paper
+// regions of twoRegionSetups.
+func latencyGSLB() gslb.Config {
+	return gslb.Config{
+		Policy: gslb.PolicyLatency,
+		RTT:    map[string][]float64{"global": {50, 120}},
+	}
+}
+
 // TestGSLBConfigValidation: the Manager rejects global wiring it cannot
 // realise, with errors naming the offending field.
 func TestGSLBConfigValidation(t *testing.T) {
@@ -59,6 +68,45 @@ func TestGSLBConfigValidation(t *testing.T) {
 			c.Faults = []RegionFault{
 				{Region: "region1", At: 10 * simclock.Minute},
 				{Region: "region1", At: 30 * simclock.Minute, Duration: simclock.Minute},
+			}
+		}, "overlap"},
+		{"link fault without latency-aware gslb", func(c *Config) {
+			c.GSLB = gslb.Config{Policy: gslb.PolicyRoundRobin}
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{{Stream: "global", Region: "region1", At: simclock.Minute, Factor: 2}}
+		}, "latency-aware"},
+		{"link fault on unknown stream", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{{Stream: "atlantis", Region: "region1", At: simclock.Minute, Factor: 2}}
+		}, "unknown population stream"},
+		{"link fault on unknown region", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{{Stream: "global", Region: "nowhere", At: simclock.Minute, Factor: 2}}
+		}, "unknown region"},
+		{"link fault on stream without RTT row", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.Arrivals = []ArrivalSetup{{Name: "s", Rate: workload.RateSpec{Kind: workload.RateConstant, Rate: 1}}}
+			c.LinkFaults = []LinkFault{{Stream: "s", Region: "region1", At: simclock.Minute, Factor: 2}}
+		}, "no GSLB.RTT row"},
+		{"link fault with negative At", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{{Stream: "global", Region: "region1", At: -simclock.Minute, Factor: 2}}
+		}, "negative At/Duration"},
+		{"link fault with zero factor", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{{Stream: "global", Region: "region1", At: simclock.Minute}}
+		}, "Factor"},
+		{"overlapping link faults", func(c *Config) {
+			c.GSLB = latencyGSLB()
+			c.GlobalClients = 8
+			c.LinkFaults = []LinkFault{
+				{Stream: "global", Region: "region1", At: simclock.Minute, Factor: 2},
+				{Stream: "global", Region: "region1", At: 2 * simclock.Minute, Duration: simclock.Minute, Factor: 3},
 			}
 		}, "overlap"},
 	}

@@ -23,7 +23,7 @@ import (
 
 // globalScenarioNames lists every registered global-* scenario.
 func globalScenarioNames() []string {
-	return []string{"global-failover", "global-leastload", "global-diurnal"}
+	return []string{"global-failover", "global-leastload", "global-diurnal", "global-latency", "global-cablecut"}
 }
 
 // TestGlobalScenarioSmoke: cheap always-on canary — every global scenario
@@ -211,6 +211,59 @@ func TestGlobalFailoverDrainAndFailback(t *testing.T) {
 	}
 }
 
+// TestGlobalCableCutShift asserts the passive-learning story end to end: the
+// cable cut at minute 12 doubles the americas-to-region1 RTT without telling
+// the director, so the learned americas:region1 estimate must climb toward
+// the new ground truth and region1 must receive strictly fewer routed
+// requests in a window after the fault than in an equal window before it.
+func TestGlobalCableCutShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 30-minute cable-cut simulation")
+	}
+	sc, err := BuildScenario("global-cablecut", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Horizon = goldenHorizon
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The learned estimate tracks the doubled ground truth (80 -> 160 ms):
+	// by the end of the run the EWMA must have crossed well past the seeded
+	// value, and the pre-fault estimate must still sit near the seed.
+	rtt := res.Recorder.Series("gslb_rtt", "americas:region1")
+	if rtt.Len() == 0 {
+		t.Fatal("no gslb_rtt series recorded for americas:region1")
+	}
+	fault := (12 * simclock.Minute).Seconds()
+	if pre := rtt.At(fault); pre > 100 {
+		t.Fatalf("pre-fault americas:region1 estimate = %.1f ms, want near the 80 ms seed", pre)
+	}
+	if end := rtt.Last(); end < 130 {
+		t.Fatalf("final americas:region1 estimate = %.1f ms, want > 130 (learning the 160 ms truth)", end)
+	}
+
+	// Routed-count shift: equal 6-minute windows, leaving 6 minutes after
+	// the cut for the estimator to converge.  gslb_routed is cumulative, so
+	// window increments are differences on the control-era grid.
+	routed := res.Recorder.Series("gslb_routed", "region1")
+	if routed.Len() == 0 {
+		t.Fatal("no gslb_routed series recorded for region1")
+	}
+	win := (6 * simclock.Minute).Seconds()
+	before := routed.At(fault) - routed.At(fault-win)
+	after := routed.Last() - routed.At(rtt.Times()[rtt.Len()-1]-win)
+	if after >= before {
+		t.Fatalf("region1 routed increment after the cut (%.0f) should be strictly below the pre-cut window (%.0f)", after, before)
+	}
+}
+
 // TestGoldenGlobalScenarios byte-pins every global scenario under policy2 —
 // summary, routed counts, transition log and the SHA-256 of the raw series
 // (which include the gslb_health / gslb_routed sets).  Regenerate with:
@@ -279,8 +332,20 @@ func TestGSLBScenarioJSONRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if back.GSLB.Policy != sc.GSLB.Policy || back.GlobalClients != sc.GlobalClients ||
-			len(back.Arrivals) != len(sc.Arrivals) || len(back.Faults) != len(sc.Faults) {
+			len(back.Arrivals) != len(sc.Arrivals) || len(back.Faults) != len(sc.Faults) ||
+			len(back.LinkFaults) != len(sc.LinkFaults) || len(back.GSLB.RTT) != len(sc.GSLB.RTT) {
 			t.Fatalf("%s: round trip lost GSLB fields: %+v", name, back)
+		}
+		for stream, row := range sc.GSLB.RTT {
+			got := back.GSLB.RTT[stream]
+			if len(got) != len(row) {
+				t.Fatalf("%s: round trip lost RTT row %q: %v", name, stream, got)
+			}
+			for i := range row {
+				if got[i] != row[i] {
+					t.Fatalf("%s: RTT row %q changed: %v -> %v", name, stream, row, got)
+				}
+			}
 		}
 	}
 }

@@ -91,6 +91,8 @@ func init() {
 	RegisterScenario("global-failover", "global clients on the director's failover policy; a scripted outage drains region1, traffic fails over and back", GlobalFailoverScenario)
 	RegisterScenario("global-leastload", "global clients routed by probed region capacity (least-load policy re-weighted every 15 s)", GlobalLeastLoadScenario)
 	RegisterScenario("global-diurnal", "inhomogeneous-Poisson diurnal streams peaking per-region a third of a cycle apart, plus static-weight global clients", GlobalDiurnalScenario)
+	RegisterScenario("global-latency", "globally attached streams routed by learned per-(stream, region) RTT (capacity over squared EWMA latency)", GlobalLatencyScenario)
+	RegisterScenario("global-cablecut", "global-latency plus a mid-run cable cut doubling the americas-to-region1 RTT; the director learns the shift passively", GlobalCableCutScenario)
 	RegisterScenario("megaclients", "10^6 cohort-compressed clients on the 16-shard megaregion (1% tracers feed the latency series)", MegaclientsScenario)
 	RegisterScenario("global-megaclients", "1.2x10^6 cohort-compressed clients routed by the director's least-load policy over three 10^3-VM regions", GlobalMegaclientsScenario)
 }

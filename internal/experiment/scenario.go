@@ -80,6 +80,9 @@ type Scenario struct {
 	// Faults is the scripted region-outage schedule driving failover
 	// experiments.
 	Faults []acm.RegionFault
+	// LinkFaults is the scripted network-path degradation schedule driving
+	// latency-routing experiments (requires a latency-aware GSLB config).
+	LinkFaults []acm.LinkFault
 	// TailFraction is the fraction of the run treated as steady state when
 	// judging convergence and oscillation (0.4 when zero).
 	TailFraction float64
@@ -143,6 +146,7 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		CohortMaxBatch:  s.CohortMaxBatch,
 		Arrivals:        s.Arrivals,
 		Faults:          s.Faults,
+		LinkFaults:      s.LinkFaults,
 	}
 }
 
@@ -526,6 +530,56 @@ func GlobalDiurnalScenario(seed uint64) Scenario {
 			}},
 		},
 	}.withDefaults()
+}
+
+// GlobalLatencyScenario exercises latency-aware geo routing: three globally
+// attached constant arrival streams ("americas", "europe", "asia") enter
+// through the director with asymmetric per-region RTT rows, plus 96 global
+// browsers on a uniform 60 ms row.  The latency policy weights each region by
+// healthy capacity over squared learned RTT, so every stream concentrates on
+// its nearby regions while the passive estimator keeps re-confirming the
+// seeded matrix from observed completions.
+func GlobalLatencyScenario(seed uint64) Scenario {
+	constant := func(rate float64) workload.RateSpec {
+		return workload.RateSpec{Kind: workload.RateConstant, Rate: rate}
+	}
+	return Scenario{
+		Name:          "global-latency",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 96,
+		GSLB: gslb.Config{
+			Policy:          gslb.PolicyLatency,
+			LatencyExponent: 2,
+			RTT: map[string][]float64{
+				"global":   {60, 60, 60},
+				"americas": {80, 140, 160},
+				"europe":   {120, 30, 40},
+				"asia":     {240, 180, 160},
+			},
+		},
+		Arrivals: []acm.ArrivalSetup{
+			{Name: "americas", Rate: constant(8)},
+			{Name: "europe", Rate: constant(8)},
+			{Name: "asia", Rate: constant(8)},
+		},
+	}.withDefaults()
+}
+
+// GlobalCableCutScenario is GlobalLatencyScenario plus a scripted cable cut:
+// at minute 12 the americas-to-region1 path's RTT doubles for the rest of the
+// run.  The director is never told — it learns purely from observed request
+// completions, so over the following probe ticks the americas EWMA for
+// region1 climbs toward the new 160 ms ground truth and the stream's traffic
+// shifts to region2/region3.  The golden pins the routed-count shift and the
+// gslb_rtt series byte-for-byte.
+func GlobalCableCutScenario(seed uint64) Scenario {
+	s := GlobalLatencyScenario(seed)
+	s.Name = "global-cablecut"
+	s.LinkFaults = []acm.LinkFault{
+		{Stream: "americas", Region: "region1", At: 12 * simclock.Minute, Factor: 2},
+	}
+	return s.withDefaults()
 }
 
 // Policies returns the three policies of the paper keyed by the short names

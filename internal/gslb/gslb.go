@@ -4,14 +4,23 @@
 // of a DNS-level global server load balancer (GSLB).
 //
 // A Director owns one routing policy (static weights, round-robin,
-// telemetry-driven least-load, or health-driven failover) and a per-region
-// health state machine fed by a periodic probe of region telemetry (active
-// capacity and error signals).  The probe runs on the simulation's control
-// timeline, so health transitions — and the routing-table snapshots derived
-// from them — happen at deterministic timestamps while every region shard is
-// idle.  Request-path routing only ever reads an immutable *Table snapshot
-// with caller-owned RNG/rotation state, which is what keeps a deployment's
-// output byte-identical for any event-loop worker count.
+// telemetry-driven least-load, health-driven failover, or latency-aware
+// proximity routing) and a per-region health state machine fed by a periodic
+// probe of region telemetry (active capacity and error signals).  The probe
+// runs on the simulation's control timeline, so health transitions — and the
+// routing-table snapshots derived from them — happen at deterministic
+// timestamps while every region shard is idle.  Request-path routing only
+// ever reads an immutable *Table snapshot with caller-owned RNG/rotation
+// state, which is what keeps a deployment's output byte-identical for any
+// event-loop worker count.
+//
+// The latency policy learns passively, the way OpenGSLB's advanced
+// passive-latency-learning demo does: a per-(stream, region) RTT matrix
+// seeds the estimates, every observed request completion is buffered by its
+// issuing lane, and the buffers are folded into a per-lane EWMA (plus a P²
+// streaming quantile for reports) at the next probe tick — on the control
+// timeline, in lane-index order — so the estimates move at deterministic
+// timestamps and the request path never writes shared state.
 //
 // The health model follows the shape of production GSLBs (OpenGSLB's
 // health-checked geo/failover/weighted policies): a region serves while
@@ -22,10 +31,12 @@ package gslb
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
+	"repro/internal/stats"
 )
 
 // PolicyKind names a routing policy.
@@ -46,11 +57,17 @@ const (
 	// and fails over to the next preference when it drains, failing back
 	// once the preferred region is healthy again.
 	PolicyFailover PolicyKind = "failover"
+	// PolicyLatency weights serving regions by healthy capacity divided by
+	// the per-stream latency estimate raised to Config.LatencyExponent, so
+	// each population stream prefers nearby regions without abandoning
+	// capacity awareness.  Estimates are seeded from Config.RTT and learned
+	// passively from observed completions (see Observe).
+	PolicyLatency PolicyKind = "latency"
 )
 
 // PolicyKinds returns every routing policy in presentation order.
 func PolicyKinds() []PolicyKind {
-	return []PolicyKind{PolicyStatic, PolicyRoundRobin, PolicyLeastLoad, PolicyFailover}
+	return []PolicyKind{PolicyStatic, PolicyRoundRobin, PolicyLeastLoad, PolicyFailover, PolicyLatency}
 }
 
 // ParsePolicy validates a policy name from a CLI flag or config file,
@@ -68,6 +85,13 @@ func ParsePolicy(s string) (PolicyKind, error) {
 	return "", fmt.Errorf("gslb: unknown policy %q (valid: %s)", s, strings.Join(names, ", "))
 }
 
+// DisabledThreshold is the sentinel that sets a health threshold to an
+// effective zero.  The zero value of CapacityThreshold/ErrorThreshold means
+// "unset" (the default applies), so an explicit zero — "never drain on
+// capacity" for CapacityThreshold, "zero error tolerance" for ErrorThreshold
+// — is expressed with -1 instead.
+const DisabledThreshold = -1
+
 // Config tunes the director.  The zero value means "no director"; setting
 // Policy enables it.  All fields are plain data so scenarios embedding a
 // Config round-trip through JSON.
@@ -75,7 +99,9 @@ type Config struct {
 	// Policy selects the routing policy; empty disables the director.
 	Policy PolicyKind
 	// Weights are the static-weight policy's per-region weights, in
-	// deployment order (uniform when empty).  Ignored by other policies.
+	// deployment order (uniform when empty).  Each weight must be
+	// non-negative and at least one must be positive.  Ignored by other
+	// policies.
 	Weights []float64
 	// Preference orders region names most-preferred first for the failover
 	// policy (deployment order when empty).  Ignored by other policies.
@@ -84,10 +110,14 @@ type Config struct {
 	// (15 s when zero).
 	ProbeInterval simclock.Duration
 	// CapacityThreshold drains a region whose ACTIVE-VM fraction (relative
-	// to its initial active pool) falls below this value (0.5 when zero).
+	// to its initial active pool) falls below this value.  0 means unset
+	// (0.5 applies); DisabledThreshold (-1) means an effective zero, i.e.
+	// never drain on capacity.
 	CapacityThreshold float64
 	// ErrorThreshold drains a region whose per-probe-interval drop ratio
-	// (dropped / (served + dropped)) exceeds this value (0.5 when zero).
+	// (dropped / (served + dropped)) exceeds this value.  0 means unset
+	// (0.5 applies); DisabledThreshold (-1) means an effective zero, i.e.
+	// any drop in a probe interval counts as a bad probe.
 	ErrorThreshold float64
 	// UnhealthyAfter is the number of consecutive bad probes before a
 	// serving region is drained (2 when zero).
@@ -95,19 +125,48 @@ type Config struct {
 	// HealthyAfter is the number of consecutive good probes before a
 	// drained region serves again (4 when zero).
 	HealthyAfter int
+	// RTT seeds the latency estimates: milliseconds from a population
+	// stream (key) to each region, columns in deployment order.  Streams
+	// without a row start from a uniform 50 ms prior.  Any non-empty matrix
+	// makes the deployment latency-aware (completions are observed and the
+	// network round trips are simulated) even under a non-latency policy,
+	// so policies can be compared on the same network.
+	RTT map[string][]float64
+	// LatencyExponent is the proximity exponent k of the latency policy's
+	// weights (capacity / RTT^k).  0 means unset (1 applies).
+	LatencyExponent float64
+	// LatencyAlpha is the EWMA smoothing factor folding each probe
+	// interval's observed mean RTT into a lane's estimate.  0 means unset
+	// (0.3 applies); must lie in [0, 1].
+	LatencyAlpha float64
 }
 
 // Enabled reports whether the configuration selects a director.
 func (c Config) Enabled() bool { return c.Policy != "" }
 
+// LatencyAware reports whether the configuration observes per-lane latency:
+// either the latency policy is selected or an RTT matrix is present.
+func (c Config) LatencyAware() bool {
+	return c.Policy == PolicyLatency || len(c.RTT) > 0
+}
+
 func (c Config) withDefaults() Config {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 15 * simclock.Second
 	}
-	if c.CapacityThreshold <= 0 {
+	// 0 is "unset" for the thresholds; the explicit-zero semantics ("never
+	// drain on capacity", "zero error tolerance") are spelled
+	// DisabledThreshold and map to an effective 0 here.
+	switch c.CapacityThreshold {
+	case DisabledThreshold:
+		c.CapacityThreshold = 0
+	case 0:
 		c.CapacityThreshold = 0.5
 	}
-	if c.ErrorThreshold <= 0 {
+	switch c.ErrorThreshold {
+	case DisabledThreshold:
+		c.ErrorThreshold = 0
+	case 0:
 		c.ErrorThreshold = 0.5
 	}
 	if c.UnhealthyAfter <= 0 {
@@ -115,6 +174,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthyAfter <= 0 {
 		c.HealthyAfter = 4
+	}
+	if c.LatencyExponent == 0 {
+		c.LatencyExponent = 1
+	}
+	if c.LatencyAlpha == 0 {
+		c.LatencyAlpha = 0.3
 	}
 	return c
 }
@@ -179,25 +244,46 @@ type regionHealth struct {
 	capacity    float64 // last probed service capacity (least-load weight)
 }
 
+// laneEstimate is the passive latency state of one (stream, region) lane:
+// the EWMA estimate routing weighs, a P² p95 for reports, and the current
+// probe interval's observation accumulator (folded and reset at each tick).
+type laneEstimate struct {
+	estMs    float64 // EWMA round-trip estimate, milliseconds
+	quant    *stats.P2Quantile
+	obsSum   float64 // interaction-weighted RTT sum since the last tick, ms
+	obsCount uint64  // interaction-weighted observation count since the last tick
+}
+
+// defaultSeedMs is the uniform prior for streams without a Config.RTT row.
+const defaultSeedMs = 50
+
+// latFloorMs clamps the latency-policy denominator so a learned
+// near-zero estimate cannot blow a weight up to infinity.
+const latFloorMs = 1
+
 // Director is the global traffic director.  Tick (probe + table rebuild) is
 // control-timeline-only; the request path reads immutable Table snapshots.
 type Director struct {
 	cfg     Config
 	regions []string
+	streams []string
 	sample  func(i int) cloudsim.Telemetry
 	health  []regionHealth
-	pref    []int // preference order as region indices
+	lanes   [][]laneEstimate // [stream][region], nil unless latency-aware
+	pref    []int            // preference order as region indices
 	table   *Table
 	trans   []Transition
 	probes  uint64
 }
 
 // NewDirector builds a director over the named regions (deployment order).
-// sample returns the current telemetry of region i; it is only called from
-// Tick.  The initial routing table treats every region as Healthy with its
-// probe-time capacity unknown (uniform least-load weights) — the first probe
-// replaces it.
-func NewDirector(cfg Config, regions []string, sample func(i int) cloudsim.Telemetry) (*Director, error) {
+// streams names the population streams whose requests the director routes
+// (deployment order; a single "default" stream when empty) — the latency
+// policy keeps one estimate lane per (stream, region).  sample returns the
+// current telemetry of region i; it is only called from Tick.  The initial
+// routing table treats every region as Healthy with its probe-time capacity
+// unknown (uniform least-load weights) — the first probe replaces it.
+func NewDirector(cfg Config, regions, streams []string, sample func(i int) cloudsim.Telemetry) (*Director, error) {
 	if !cfg.Enabled() {
 		return nil, fmt.Errorf("gslb: config has no policy")
 	}
@@ -210,9 +296,12 @@ func NewDirector(cfg Config, regions []string, sample func(i int) cloudsim.Telem
 	if sample == nil {
 		return nil, fmt.Errorf("gslb: nil telemetry sampler")
 	}
+	if err := validateConfig(cfg, regions, streams); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	if cfg.Policy == PolicyStatic && len(cfg.Weights) > 0 && len(cfg.Weights) != len(regions) {
-		return nil, fmt.Errorf("gslb: %d static weights for %d regions", len(cfg.Weights), len(regions))
+	if len(streams) == 0 {
+		streams = []string{"default"}
 	}
 	index := make(map[string]int, len(regions))
 	for i, r := range regions {
@@ -246,6 +335,7 @@ func NewDirector(cfg Config, regions []string, sample func(i int) cloudsim.Telem
 	d := &Director{
 		cfg:     cfg,
 		regions: append([]string(nil), regions...),
+		streams: append([]string(nil), streams...),
 		sample:  sample,
 		health:  make([]regionHealth, len(regions)),
 		pref:    pref,
@@ -253,8 +343,85 @@ func NewDirector(cfg Config, regions []string, sample func(i int) cloudsim.Telem
 	for i := range d.health {
 		d.health[i].capacity = 1 // uniform until the first probe
 	}
+	if cfg.LatencyAware() {
+		d.lanes = make([][]laneEstimate, len(streams))
+		for s, name := range d.streams {
+			d.lanes[s] = make([]laneEstimate, len(regions))
+			row := cfg.RTT[name]
+			for r := range d.lanes[s] {
+				seed := float64(defaultSeedMs)
+				if len(row) == len(regions) {
+					seed = row[r]
+				}
+				d.lanes[s][r].estMs = seed
+				d.lanes[s][r].quant = stats.NewP2Quantile(0.95)
+			}
+		}
+	}
 	d.table = d.buildTable()
 	return d, nil
+}
+
+// validateConfig rejects configurations the director cannot honour, with
+// errors that name the offending field.  It runs on the raw config, before
+// defaults are applied, so the threshold sentinels are still distinguishable.
+func validateConfig(cfg Config, regions, streams []string) error {
+	if len(cfg.Weights) > 0 {
+		if len(cfg.Weights) != len(regions) {
+			return fmt.Errorf("gslb: %d static weights for %d regions", len(cfg.Weights), len(regions))
+		}
+		positive := false
+		for i, w := range cfg.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("gslb: Weights[%d] = %v; weights must be finite and non-negative", i, w)
+			}
+			if w > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return fmt.Errorf("gslb: Weights must contain at least one positive entry")
+		}
+	}
+	if t := cfg.CapacityThreshold; t != DisabledThreshold && (math.IsNaN(t) || t < 0) {
+		return fmt.Errorf("gslb: CapacityThreshold = %v; must be >= 0 or DisabledThreshold (-1)", t)
+	}
+	if t := cfg.ErrorThreshold; t != DisabledThreshold && (math.IsNaN(t) || t < 0) {
+		return fmt.Errorf("gslb: ErrorThreshold = %v; must be >= 0 or DisabledThreshold (-1)", t)
+	}
+	if k := cfg.LatencyExponent; math.IsNaN(k) || math.IsInf(k, 0) || k < 0 {
+		return fmt.Errorf("gslb: LatencyExponent = %v; must be finite and >= 0", k)
+	}
+	if a := cfg.LatencyAlpha; math.IsNaN(a) || a < 0 || a > 1 {
+		return fmt.Errorf("gslb: LatencyAlpha = %v; must lie in [0, 1]", a)
+	}
+	if len(cfg.RTT) > 0 {
+		known := make(map[string]bool, len(streams))
+		for _, s := range streams {
+			known[s] = true
+		}
+		for name, row := range cfg.RTT {
+			if !known[name] {
+				return fmt.Errorf("gslb: RTT row %q names no population stream (streams: %s)", name, strings.Join(streams, ", "))
+			}
+			if len(row) != len(regions) {
+				return fmt.Errorf("gslb: RTT row %q has %d entries for %d regions", name, len(row), len(regions))
+			}
+			for r, ms := range row {
+				if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+					return fmt.Errorf("gslb: RTT[%q][%d] = %v; must be finite and >= 0", name, r, ms)
+				}
+			}
+		}
+	}
+	seen := make(map[string]bool, len(streams))
+	for _, s := range streams {
+		if seen[s] {
+			return fmt.Errorf("gslb: stream %q listed twice", s)
+		}
+		seen[s] = true
+	}
+	return nil
 }
 
 // Config returns the director configuration with defaults applied.
@@ -262,6 +429,13 @@ func (d *Director) Config() Config { return d.cfg }
 
 // Regions returns the region names in deployment order.
 func (d *Director) Regions() []string { return append([]string(nil), d.regions...) }
+
+// Streams returns the population stream names in deployment order.
+func (d *Director) Streams() []string { return append([]string(nil), d.streams...) }
+
+// LatencyAware reports whether the director keeps per-lane latency estimates
+// (and therefore expects Observe calls).
+func (d *Director) LatencyAware() bool { return d.lanes != nil }
 
 // Table returns the current routing-table snapshot.
 func (d *Director) Table() *Table { return d.table }
@@ -285,9 +459,59 @@ func (d *Director) Transitions() []Transition { return append([]Transition(nil),
 // Probes returns the number of completed probe ticks.
 func (d *Director) Probes() uint64 { return d.probes }
 
-// Tick runs one health probe: it samples every region's telemetry, advances
-// the per-region state machines and rebuilds the routing table.  It must run
-// on the control timeline (exclusive access to the regions); the returned
+// Observe feeds one completed request's observed round trip (milliseconds)
+// into the (stream, region) lane, weighted by the number of client
+// interactions the request stood for (1 for a plain request, the batch size
+// for a cohort batch).  Like Tick it must run on the control timeline:
+// callers buffer observations per issuing lane and flush the buffers in
+// lane-index order right before the probe tick, which keeps the
+// floating-point fold — and therefore every estimate — byte-reproducible for
+// any worker count.  No-op unless the director is latency-aware.
+func (d *Director) Observe(stream, region int, rttMs float64, weight uint64) {
+	if d.lanes == nil || stream < 0 || stream >= len(d.lanes) || region < 0 || region >= len(d.regions) {
+		return
+	}
+	if weight == 0 {
+		weight = 1
+	}
+	lane := &d.lanes[stream][region]
+	lane.obsSum += rttMs * float64(weight)
+	lane.obsCount += weight
+	lane.quant.Add(rttMs)
+}
+
+// LatencyEstimateMs returns the current EWMA round-trip estimate of the
+// (stream, region) lane in milliseconds (0 when the director is not
+// latency-aware).
+func (d *Director) LatencyEstimateMs(stream, region int) float64 {
+	if d.lanes == nil {
+		return 0
+	}
+	return d.lanes[stream][region].estMs
+}
+
+// LatencyP95Ms returns the lane's P² p95 round-trip estimate in milliseconds
+// (0 before any observation, or when the director is not latency-aware).
+func (d *Director) LatencyP95Ms(stream, region int) float64 {
+	if d.lanes == nil {
+		return 0
+	}
+	return d.lanes[stream][region].quant.Value()
+}
+
+// LatencyObservations returns how many interaction-weighted observations the
+// lane's quantile sketch has folded in.
+func (d *Director) LatencyObservations(stream, region int) uint64 {
+	if d.lanes == nil {
+		return 0
+	}
+	return d.lanes[stream][region].quant.Count()
+}
+
+// Tick runs one health probe: it samples every region's telemetry, folds the
+// buffered latency observations into the per-lane estimates, advances the
+// per-region state machines and rebuilds the routing table.  It must run on
+// the control timeline (exclusive access to the regions); the returned
 // snapshot is what callers republish to their request-path readers.
 func (d *Director) Tick(now simclock.Time) *Table {
 	d.probes++
@@ -301,8 +525,18 @@ func (d *Director) Tick(now simclock.Time) *Table {
 			baseline = 1
 		}
 		capFrac := float64(tel.ActiveVMs) / float64(baseline)
-		dServed := tel.Served - h.prevServed
-		dDropped := tel.Dropped - h.prevDropped
+		// The telemetry counters are cumulative; a counter regression (a
+		// region restarting through a fault path) would underflow the uint64
+		// difference into an enormous delta and instantly trip the error
+		// threshold, so negative deltas clamp to zero and the probe resyncs
+		// on the regressed values.
+		var dServed, dDropped uint64
+		if tel.Served >= h.prevServed {
+			dServed = tel.Served - h.prevServed
+		}
+		if tel.Dropped >= h.prevDropped {
+			dDropped = tel.Dropped - h.prevDropped
+		}
 		h.prevServed, h.prevDropped = tel.Served, tel.Dropped
 		errRate := 0.0
 		if total := dServed + dDropped; total > 0 {
@@ -342,12 +576,31 @@ func (d *Director) Tick(now simclock.Time) *Table {
 			h.state = next
 		}
 	}
+	d.foldLatency()
 	d.table = d.buildTable()
 	return d.table
 }
 
+// foldLatency folds each lane's buffered observation interval into its EWMA
+// estimate and resets the accumulators.  Lanes without observations keep
+// their previous estimate — a drained region's lane goes stale rather than
+// decaying, exactly what a passive learner sees.
+func (d *Director) foldLatency() {
+	for s := range d.lanes {
+		for r := range d.lanes[s] {
+			lane := &d.lanes[s][r]
+			if lane.obsCount == 0 {
+				continue
+			}
+			mean := lane.obsSum / float64(lane.obsCount)
+			lane.estMs += d.cfg.LatencyAlpha * (mean - lane.estMs)
+			lane.obsSum, lane.obsCount = 0, 0
+		}
+	}
+}
+
 // buildTable derives the immutable routing snapshot from the current health
-// states and probe capacities.
+// states, probe capacities and latency estimates.
 func (d *Director) buildTable() *Table {
 	serving := make([]int, 0, len(d.regions))
 	for _, i := range d.pref {
@@ -372,13 +625,50 @@ func (d *Director) buildTable() *Table {
 				t.weights[j] = 1
 			}
 		}
+		normalizeWeights(t.weights)
 	case PolicyLeastLoad:
 		t.weights = make([]float64, len(serving))
 		for j, i := range serving {
 			t.weights[j] = d.health[i].capacity
 		}
+		normalizeWeights(t.weights)
+	case PolicyLatency:
+		t.rows = make([][]float64, len(d.lanes))
+		for s := range d.lanes {
+			row := make([]float64, len(serving))
+			for j, i := range serving {
+				est := d.lanes[s][i].estMs
+				if est < latFloorMs {
+					est = latFloorMs
+				}
+				row[j] = d.health[i].capacity / math.Pow(est, d.cfg.LatencyExponent)
+			}
+			normalizeWeights(row)
+			t.rows[s] = row
+		}
 	}
 	return t
+}
+
+// normalizeWeights repairs a degenerate weight row in place: when every
+// entry is zero (the only statically weighted region drained, every
+// survivor probed at capacity 0) or any entry is non-finite, the row
+// degrades to uniform so rng.Choice always sees a well-defined distribution.
+func normalizeWeights(w []float64) {
+	total := 0.0
+	for _, x := range w {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			total = 0
+			break
+		}
+		total += x
+	}
+	if total > 0 {
+		return
+	}
+	for i := range w {
+		w[i] = 1
+	}
 }
 
 // Table is an immutable routing snapshot.  It is safe for any number of
@@ -388,8 +678,9 @@ func (d *Director) buildTable() *Table {
 // deterministic function of its own request sequence.
 type Table struct {
 	mode     PolicyKind
-	eligible []int     // serving region indices, preference-ordered
-	weights  []float64 // aligned with eligible (static / least-load)
+	eligible []int       // serving region indices, preference-ordered
+	weights  []float64   // aligned with eligible (static / least-load)
+	rows     [][]float64 // latency policy: per-stream weights over eligible
 }
 
 // Mode returns the policy kind of the snapshot.
@@ -398,10 +689,18 @@ func (t *Table) Mode() PolicyKind { return t.mode }
 // Eligible returns the serving region indices, preference-ordered.
 func (t *Table) Eligible() []int { return append([]int(nil), t.eligible...) }
 
-// Route picks the destination region index for one request.  rng supplies
-// the weighted draw of the static and least-load policies; rr is the
-// caller's round-robin cursor (advanced only by the round-robin policy).
+// Route picks the destination region index for one request of the first
+// population stream.  rng supplies the weighted draw of the static,
+// least-load and latency policies; rr is the caller's round-robin cursor
+// (advanced only by the round-robin policy).
 func (t *Table) Route(rng *simclock.RNG, rr *uint64) int {
+	return t.RouteStream(0, rng, rr)
+}
+
+// RouteStream picks the destination region index for one request of the
+// given population stream.  Only the latency policy differentiates streams
+// (each has its own weight row); every other policy ignores the index.
+func (t *Table) RouteStream(stream int, rng *simclock.RNG, rr *uint64) int {
 	switch t.mode {
 	case PolicyRoundRobin:
 		i := t.eligible[int(*rr%uint64(len(t.eligible)))]
@@ -409,6 +708,11 @@ func (t *Table) Route(rng *simclock.RNG, rr *uint64) int {
 		return i
 	case PolicyFailover:
 		return t.eligible[0]
+	case PolicyLatency:
+		if stream < 0 || stream >= len(t.rows) {
+			stream = 0
+		}
+		return t.eligible[rng.Choice(t.rows[stream])]
 	default: // static, leastload
 		return t.eligible[rng.Choice(t.weights)]
 	}

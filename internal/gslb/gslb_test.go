@@ -44,7 +44,7 @@ func regionNames(n int) []string {
 
 func newTestDirector(t *testing.T, cfg Config, stub *stubTelemetry) *Director {
 	t.Helper()
-	d, err := NewDirector(cfg, regionNames(len(stub.active)), stub.sample)
+	d, err := NewDirector(cfg, regionNames(len(stub.active)), nil, stub.sample)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestGSLBNewDirectorValidation(t *testing.T) {
 		{Policy: PolicyFailover, Preference: []string{"region1", "region1"}}, // duplicate
 	}
 	for i, cfg := range cases {
-		if _, err := NewDirector(cfg, regionNames(2), stub.sample); err == nil {
+		if _, err := NewDirector(cfg, regionNames(2), nil, stub.sample); err == nil {
 			t.Fatalf("case %d: NewDirector accepted invalid config %+v", i, cfg)
 		}
 	}
@@ -274,7 +274,7 @@ func TestGSLBFailoverConservationProperty(t *testing.T) {
 		sample := func(i int) cloudsim.Telemetry {
 			return cloudsim.Telemetry{ActiveVMs: active[i], BaselineActive: 4, Capacity: float64(active[i])}
 		}
-		d, err := NewDirector(Config{Policy: PolicyFailover, UnhealthyAfter: 1, HealthyAfter: 2}, regionNames(n), sample)
+		d, err := NewDirector(Config{Policy: PolicyFailover, UnhealthyAfter: 1, HealthyAfter: 2}, regionNames(n), nil, sample)
 		if err != nil {
 			t.Fatal(err)
 		}
