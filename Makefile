@@ -7,6 +7,8 @@
 #   make bench-smoke # one cheap iteration of the Figure 3 benchmarks
 #   make bench-json  # record BENCH_ci.json and gate it against BENCH_baseline.json
 #   make lint        # golangci-lint (falls back to go vet when not installed)
+#   make docs        # regenerate docs/SCENARIOS.md from the scenario registry
+#   make docs-check  # fail when generated docs are stale or links are dead
 
 GO ?= go
 
@@ -16,9 +18,9 @@ GO ?= go
 # CI can never record different benchmark sets.
 BENCH_GATE = $(GO) test -bench='RegionSharded|Figure3|GlobalDirector|GlobalLatency|CohortPopulation|Megaclients' -benchtime=1x -benchmem -run='^$$' .
 
-.PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline
+.PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline docs docs-check
 
-check: fmt vet lint build race test-repeat bench-json
+check: fmt vet lint build race test-repeat bench-json docs-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -27,7 +29,7 @@ vet:
 	$(GO) vet ./...
 
 # The CI lint job runs golangci-lint (govet, staticcheck, errcheck,
-# ineffassign — see .golangci.yml), pinned to v1.64.8 in
+# ineffassign, stylecheck/ST1000 — see .golangci.yml), pinned to v1.64.8 in
 # .github/workflows/ci.yml; install the same release locally so `make lint`
 # and CI agree.  We degrade to go vet when the binary is absent so `make
 # check` works in a bare container.
@@ -75,3 +77,15 @@ bench-baseline:
 	$(BENCH_GATE) > BENCH_raw.txt || (cat BENCH_raw.txt; exit 1)
 	cat BENCH_raw.txt
 	$(GO) run ./cmd/benchjson parse -in BENCH_raw.txt -out BENCH_baseline.json
+
+# docs/SCENARIOS.md is generated from the scenario registry; the committed
+# copy is kept honest by TestScenariosDocCurrent (and the CI docs job), which
+# fail with "run make docs" whenever the registry and the document diverge.
+docs:
+	$(GO) run ./cmd/acmsim -list-scenarios -markdown > docs/SCENARIOS.md
+
+# docs-check is what the CI docs job runs: the staleness test for generated
+# docs plus the relative-link checker over every tracked markdown document.
+docs-check:
+	$(GO) test ./internal/experiment/ -run 'TestScenariosDoc|TestScenariosMarkdown'
+	$(GO) run ./cmd/mdcheck README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md

@@ -12,6 +12,7 @@
 //	acmsim -scenario figure4 -policy policy2       # run a registered scenario
 //	acmsim -scenario global-failover -gslb-policy leastload   # swap the GSLB policy
 //	acmsim -list-scenarios                         # list the registry
+//	acmsim -list-scenarios -markdown               # emit docs/SCENARIOS.md
 //	acmsim -dump-config scenario.json      # write the assembled scenario
 //	acmsim -config scenario.json           # run a scenario from a JSON file
 //	acmsim -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
@@ -57,6 +58,7 @@ func main() {
 		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
 		scenario  = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
 		list      = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		markdown  = flag.Bool("markdown", false, "with -list-scenarios: print the full scenario catalogue as markdown (the source of docs/SCENARIOS.md; see `make docs`)")
 		dumpPath  = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
 
 		// Matrix-sweep mode (experiment.Matrix): mutually exclusive with the
@@ -73,6 +75,15 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		if *markdown {
+			md, err := experiment.ScenariosMarkdown()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acmsim:", err)
+				os.Exit(1)
+			}
+			fmt.Print(md)
+			return
+		}
 		names := experiment.ScenarioNames()
 		width := 0
 		for _, name := range names {
@@ -90,6 +101,11 @@ func main() {
 	// its own horizon/beta/interval/predictor unless explicitly overridden.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *markdown {
+		fmt.Fprintln(os.Stderr, "acmsim: -markdown only applies with -list-scenarios")
+		os.Exit(1)
+	}
 
 	if *scenarios != "" {
 		// The sweep defines its own deployments and output; a single-run
@@ -509,6 +525,24 @@ func printReport(mgr *acm.Manager) {
 					key := sname + ":" + rname
 					fmt.Printf("    %s: %.1f / %.1f\n", key, ewma[key], p95[key])
 				}
+			}
+		}
+	}
+	if p := mgr.GossipPlane(); p != nil {
+		st := mgr.GossipStats()
+		fmt.Printf("gossip health plane: %d replicas, policy=%s, %d rounds (sent=%d delivered=%d dropped=%d)\n",
+			st.Replicas, p.GSLBConfig().Policy, st.Rounds, st.Sent, st.Delivered, st.Dropped)
+		fmt.Printf("   convergence: %d updates settled, mean lag %.1fs, final divergence %d, pending %d\n",
+			st.Converged, st.MeanLagSeconds, st.MaxDivergence, st.Pending)
+		routed := mgr.GSLBRouted()
+		states := p.OwnerStates()
+		for i, name := range mgr.RegionNames() {
+			fmt.Printf("   %s: routed=%d owner-health=%s\n", name, routed[name], states[i])
+		}
+		if trans := mgr.GSLBTransitions(); len(trans) > 0 {
+			fmt.Println("   health transitions (owner views):")
+			for _, t := range trans {
+				fmt.Println("    ", t)
 			}
 		}
 	}

@@ -17,6 +17,7 @@
 //	figures -ablation predictor            # oracle vs. trained F2PM predictor
 //	figures -ablation elasticity           # ADDVMS under a workload surge
 //	figures -ablation cablecut             # passive latency learning through a cable cut
+//	figures -ablation gossip               # convergence lag vs gossip round period
 //	figures -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
 //	        -sweep-csv sweep.csv -journal sweep.journal   # matrix sweep
 package main
@@ -343,6 +344,22 @@ func runAblation(kind string, seed uint64, horizon simclock.Duration, opt experi
 			Title: "client response time (s)", Height: 10, Width: 72}))
 		fmt.Printf("mean response time %.3fs, SLA violations %.2f%%, success ratio %.4f\n",
 			res.MeanResponseTime, 100*res.SLAViolationRatio, res.SuccessRatio)
+	case "gossip":
+		gs, err := experiment.BuildScenario("global-gossip", seed)
+		if err != nil {
+			return err
+		}
+		gs.Horizon = horizon
+		np, _ := experiment.PolicyByKey("policy2")
+		intervals := []simclock.Duration{
+			5 * simclock.Second, 10 * simclock.Second, 20 * simclock.Second, 40 * simclock.Second,
+		}
+		pts, err := experiment.GossipIntervalSweep(gs, np, intervals, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("gossip-interval sweep (3 replicas, global-gossip scenario): convergence lag vs message cost:")
+		fmt.Print(experiment.GossipSweepTable(pts))
 	case "cablecut":
 		cc, err := experiment.BuildScenario("global-cablecut", seed)
 		if err != nil {
@@ -368,7 +385,7 @@ func runAblation(kind string, seed uint64, horizon simclock.Duration, opt experi
 			fmt.Printf("  %s: routed=%d\n", region, res.GSLBRouted[region])
 		}
 	default:
-		return fmt.Errorf("unknown ablation %q (use beta, k, baseline, homogeneous, predictor, elasticity or cablecut)", kind)
+		return fmt.Errorf("unknown ablation %q (use beta, k, baseline, homogeneous, predictor, elasticity, cablecut or gossip)", kind)
 	}
 	return nil
 }

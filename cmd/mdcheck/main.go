@@ -1,0 +1,184 @@
+// Command mdcheck validates the relative links in markdown documents: every
+// `[text](target)` whose target is not an absolute URL must point at an
+// existing file or directory (relative to the document), and a `#fragment` on
+// a markdown target must match a heading in the linked document (or the same
+// document for bare `#fragment` links).  Anchors are matched with the
+// GitHub-style slug rules (lowercase, punctuation stripped, spaces to
+// hyphens, duplicate slugs numbered).
+//
+// It exists so the repo's documentation system can promise that committed
+// docs never point at files or sections that a refactor moved away; the CI
+// docs job runs it over README.md, ROADMAP.md, CHANGES.md, PAPER.md and
+// docs/ via `make docs-check`.
+//
+// Usage:
+//
+//	mdcheck README.md docs/*.md
+//
+// Exit status is non-zero when any link is dead, with one line per failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d dead link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("mdcheck: %d file(s) clean\n", len(os.Args)-1)
+}
+
+// linkRE matches inline markdown links [text](target).  Images ![alt](target)
+// are matched too (the leading ! is simply not captured); reference-style
+// links are not used in this repo.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one message per dead link in the document.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(stripCode(line), -1) {
+			target := m[1]
+			if reason := checkTarget(path, target); reason != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: dead link %q: %s", path, i+1, target, reason))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// stripCode removes inline code spans so example links inside backticks are
+// not validated.
+func stripCode(line string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range line {
+		if r == '`' {
+			inCode = !inCode
+			continue
+		}
+		if !inCode {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkTarget validates one link target relative to the document holding it,
+// returning an empty string when the target resolves.
+func checkTarget(doc, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		// External URLs are out of scope: checking them needs the network,
+		// which CI docs runs must not depend on.
+		return ""
+	case strings.HasPrefix(target, "#"):
+		return checkAnchor(doc, target[1:])
+	}
+	file, fragment, _ := strings.Cut(target, "#")
+	resolved := filepath.Join(filepath.Dir(doc), file)
+	info, err := os.Stat(resolved)
+	if err != nil {
+		return "no such file"
+	}
+	if fragment == "" {
+		return ""
+	}
+	if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+		return "fragment on a non-markdown target"
+	}
+	return checkAnchor(resolved, fragment)
+}
+
+// checkAnchor verifies that the markdown file contains a heading whose
+// GitHub-style slug equals the fragment.
+func checkAnchor(mdPath, fragment string) string {
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		return "no such file"
+	}
+	for _, slug := range headingSlugs(string(data)) {
+		if slug == fragment {
+			return ""
+		}
+	}
+	return fmt.Sprintf("no heading with anchor #%s in %s", fragment, mdPath)
+}
+
+// headingSlugs extracts every ATX heading and slugifies it the way GitHub
+// anchors do, numbering duplicates (#foo, #foo-1, ...).
+func headingSlugs(doc string) []string {
+	seen := map[string]int{}
+	var slugs []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue // not a heading: no space after the # run
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n, dup := seen[slug]; dup {
+			seen[slug] = n + 1
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		} else {
+			seen[slug] = 1
+		}
+		slugs = append(slugs, slug)
+	}
+	return slugs
+}
+
+// slugify lowercases, drops punctuation (keeping letters, digits, spaces and
+// hyphens) and turns spaces into hyphens — the GitHub anchor algorithm.
+func slugify(heading string) string {
+	// Inline code and emphasis markers vanish from anchors.
+	heading = strings.NewReplacer("`", "", "*", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z',
+			'0' <= r && r <= '9',
+			r > 127: // non-ASCII letters survive in GitHub slugs
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,7 @@
+// Package repro is the module root of the ACM Framework reproduction: a
+// deterministic discrete-event simulation of the paper's Autonomic Cloud
+// Manager.  The root package itself holds only the whole-system benchmark
+// suites (sharded regions, the global traffic director, cohort-compressed
+// populations); the simulation lives under internal/ — see
+// docs/ARCHITECTURE.md for the layer map — and the CLIs under cmd/.
+package repro

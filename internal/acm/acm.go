@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/f2pm"
+	"repro/internal/gossip"
 	"repro/internal/gslb"
 	"repro/internal/overlay"
 	"repro/internal/pcam"
@@ -154,6 +155,28 @@ type Config struct {
 	// LinkFault), the stimulus the director's passive latency learning
 	// responds to.  Requires a latency-aware GSLB configuration.
 	LinkFaults []LinkFault
+	// GossipReplicas replaces the central director with this many replicated
+	// directors exchanging health over the simulated gossip plane
+	// (internal/gossip).  Each request lane routes on its home replica's
+	// eventually-consistent view (lane g reads replica g mod N).  Requires
+	// GSLB to be enabled; incompatible with the latency policy and RTT
+	// matrices (their passive estimators are inherently central).  Zero
+	// keeps the central director.
+	GossipReplicas int
+	// GossipInterval is the gossip round period on the control timeline
+	// (10 s when zero).
+	GossipInterval simclock.Duration
+	// GossipFanout is how many peers each replica pushes to per round
+	// (1 when zero).
+	GossipFanout int
+	// GossipDelay is the per-message link delay of the gossip plane; a push
+	// always takes at least one round to arrive.
+	GossipDelay simclock.Duration
+	// GossipLoss is the per-message Bernoulli loss probability in [0, 1).
+	GossipLoss float64
+	// PartitionFaults scripts replica-set splits of the gossip plane on the
+	// control timeline (see PartitionFault).  Requires GossipReplicas >= 2.
+	PartitionFaults []PartitionFault
 }
 
 func (c Config) withDefaults() Config {
@@ -217,9 +240,11 @@ type Manager struct {
 	plan        *core.ForwardPlan
 	recorder    *trace.Recorder
 	models      map[string]*f2pm.Model // per instance type, when PredictorML
-	director    *gslb.Director         // non-nil when GSLB is enabled
+	director    *gslb.Director         // non-nil when GSLB is enabled centrally
+	plane       *gossip.Plane          // non-nil when GossipReplicas > 0
 	arrivals    []*workload.VaryingOpenLoop
 	stopProbe   func()
+	stopGossip  func()
 
 	// interval accounting for λ, entry shares and the response-time series
 	prevIssued    map[string]uint64
@@ -627,6 +652,7 @@ func (m *Manager) Start() {
 	m.startDirector()
 	m.scheduleFaults()
 	m.scheduleLinkFaults()
+	m.schedulePartitionFaults()
 	m.stopLoop = m.eng.Ticker(m.cfg.ControlInterval, func(eng *simclock.Engine) { m.controlEra(eng) })
 }
 
@@ -653,6 +679,10 @@ func (m *Manager) Stop() {
 	if m.stopProbe != nil {
 		m.stopProbe()
 		m.stopProbe = nil
+	}
+	if m.stopGossip != nil {
+		m.stopGossip()
+		m.stopGossip = nil
 	}
 	if m.stopLoop != nil {
 		m.stopLoop()
@@ -750,19 +780,33 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	// counts are what the global-failover golden pins the drain/failback
 	// story on: the faulted region's series flattens during the outage while
 	// the backup's keeps climbing.
-	if m.director != nil {
-		states := m.director.States()
+	if m.director != nil || m.plane != nil {
+		var states []gslb.HealthState
+		if m.plane != nil {
+			states = m.plane.OwnerStates()
+		} else {
+			states = m.director.States()
+		}
 		routed := m.GSLBRouted()
 		for i, name := range m.regionNames {
 			m.recorder.Record("gslb_health", name, now, float64(states[i]))
 			m.recorder.Record("gslb_routed", name, now, float64(routed[name]))
+		}
+		// Gossip deployments additionally record the convergence series: the
+		// maximum number of probe generations any replica's view lags the
+		// region owner's, per era.  Flat at ~0 while connected; during a
+		// partition it climbs by one per probe and collapses at heal — the
+		// series the global-partition golden pins split-brain on.  Absent for
+		// central directors, so pre-existing goldens keep their bytes.
+		if m.plane != nil {
+			m.recorder.Record("gossip_convergence", "max_divergence", now, float64(m.plane.MaxDivergence()))
 		}
 		// Latency-aware deployments additionally record the learned
 		// per-lane round-trip estimates (milliseconds, "stream:region"
 		// labels) — the series the cable-cut golden pins the learning
 		// trajectory on.  Absent otherwise, so pre-existing goldens keep
 		// their bytes.
-		if m.director.LatencyAware() {
+		if m.director != nil && m.director.LatencyAware() {
 			for s, sname := range m.director.Streams() {
 				for r, rname := range m.regionNames {
 					m.recorder.Record("gslb_rtt", sname+":"+rname, now, m.director.LatencyEstimateMs(s, r))

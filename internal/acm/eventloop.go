@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/gslb"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -151,12 +152,11 @@ func newEventLoop(m *Manager) *eventLoop {
 // dispatcher).
 func (el *eventLoop) buildGlobalTraffic() {
 	m := el.mgr
-	if m.director != nil {
+	if m.director != nil || m.plane != nil {
 		el.gslbTables = make([]*gslb.Table, el.total)
 		el.gslbRouted = make([][]uint64, el.total)
 		el.gslbDisp = make([]workload.Dispatcher, el.total)
-		initial := m.director.Table()
-		if m.director.LatencyAware() {
+		if m.director != nil && m.director.LatencyAware() {
 			el.latAware = true
 			streams := m.director.Streams()
 			el.streamIdx = make(map[string]int, len(streams))
@@ -174,7 +174,14 @@ func (el *eventLoop) buildGlobalTraffic() {
 			}
 		}
 		for g := 0; g < el.total; g++ {
-			el.gslbTables[g] = initial
+			if m.plane != nil {
+				// Each request lane is homed to one gossip replica and routes
+				// on that replica's eventually-consistent table — two lanes
+				// can disagree about the same region, which is the point.
+				el.gslbTables[g] = m.plane.Table(m.plane.Home(g))
+			} else {
+				el.gslbTables[g] = m.director.Table()
+			}
 			el.gslbRouted[g] = make([]uint64, len(m.regions))
 			el.gslbDisp[g] = el.gslbDispatcher(g)
 		}
@@ -376,6 +383,16 @@ func (el *eventLoop) setLinkRTT(stream, region int, ms float64) {
 func (el *eventLoop) installGSLBTable(t *gslb.Table) {
 	for g := range el.gslbTables {
 		el.gslbTables[g] = t
+	}
+}
+
+// installGossipTables republishes every gossip replica's routing-table
+// snapshot to its homed lanes (lane g reads replica g mod N).  Called from
+// the plane's probe and gossip ticks on the control timeline, i.e. at an
+// epoch barrier while every shard loop is idle.
+func (el *eventLoop) installGossipTables(p *gossip.Plane) {
+	for g := range el.gslbTables {
+		el.gslbTables[g] = p.Table(p.Home(g))
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/cloudsim"
+	"repro/internal/gossip"
 	"repro/internal/gslb"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -76,6 +77,23 @@ type LinkFault struct {
 	// Factor multiplies the path's RTT; must be positive and finite
 	// (2 doubles it, 0.5 would model a better route coming up).
 	Factor float64
+}
+
+// PartitionFault scripts one network partition of the gossip health plane:
+// at time At the listed replicas are cut off from the rest (cross-side
+// gossip messages are dropped), and after Duration the plane heals and the
+// sides reconcile.  During the cut each side keeps converging internally,
+// so lanes homed to the isolated replicas route on views frozen at the
+// split — the split-brain behaviour the global-partition scenario pins.
+// Zero Duration makes the partition permanent.
+type PartitionFault struct {
+	// At is when the partition starts.
+	At simclock.Duration
+	// Duration is how long it lasts; zero makes it permanent.
+	Duration simclock.Duration
+	// Replicas lists the replica indices forming the isolated side; the
+	// remaining replicas form the other.  Both sides must be non-empty.
+	Replicas []int
 }
 
 // validateGlobal rejects configurations the global-traffic wiring cannot
@@ -157,6 +175,9 @@ func (m *Manager) validateGlobal() error {
 	if len(cfg.LinkFaults) > 0 && !cfg.GSLB.LatencyAware() {
 		return fmt.Errorf("acm: LinkFaults require a latency-aware GSLB config (latency policy or an RTT matrix)")
 	}
+	if err := m.validateGossip(); err != nil {
+		return err
+	}
 	streamKnown := map[string]bool{}
 	for _, s := range m.globalStreamNames() {
 		streamKnown[s] = true
@@ -195,6 +216,66 @@ func (m *Manager) validateGlobal() error {
 	return nil
 }
 
+// validateGossip rejects gossip health-plane configurations the wiring
+// cannot realise.
+func (m *Manager) validateGossip() error {
+	cfg := m.cfg
+	if cfg.GossipReplicas < 0 {
+		return fmt.Errorf("acm: GossipReplicas must be >= 0, got %d", cfg.GossipReplicas)
+	}
+	if cfg.GossipReplicas == 0 {
+		if cfg.GossipInterval != 0 || cfg.GossipFanout != 0 || cfg.GossipDelay != 0 || cfg.GossipLoss != 0 || len(cfg.PartitionFaults) > 0 {
+			return fmt.Errorf("acm: gossip tuning/partition fields set but GossipReplicas is 0")
+		}
+		return nil
+	}
+	if !cfg.GSLB.Enabled() {
+		return fmt.Errorf("acm: GossipReplicas = %d but no GSLB policy configured", cfg.GossipReplicas)
+	}
+	if cfg.GSLB.LatencyAware() {
+		return fmt.Errorf("acm: the gossip health plane cannot run a latency-aware GSLB config (its passive estimators are central); use the central director")
+	}
+	if cfg.GossipInterval < 0 || cfg.GossipDelay < 0 {
+		return fmt.Errorf("acm: GossipInterval/GossipDelay must be >= 0")
+	}
+	if l := cfg.GossipLoss; math.IsNaN(l) || l < 0 || l >= 1 {
+		return fmt.Errorf("acm: GossipLoss = %v; must lie in [0, 1)", l)
+	}
+	for i, f := range cfg.PartitionFaults {
+		if cfg.GossipReplicas < 2 {
+			return fmt.Errorf("acm: partition fault %d needs GossipReplicas >= 2, got %d", i, cfg.GossipReplicas)
+		}
+		if f.At < 0 || f.Duration < 0 {
+			return fmt.Errorf("acm: partition fault %d has negative At/Duration", i)
+		}
+		if len(f.Replicas) == 0 || len(f.Replicas) >= cfg.GossipReplicas {
+			return fmt.Errorf("acm: partition fault %d must isolate between 1 and %d replicas, got %d", i, cfg.GossipReplicas-1, len(f.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range f.Replicas {
+			if r < 0 || r >= cfg.GossipReplicas {
+				return fmt.Errorf("acm: partition fault %d names replica %d outside [0, %d)", i, r, cfg.GossipReplicas)
+			}
+			if seen[r] {
+				return fmt.Errorf("acm: partition fault %d lists replica %d twice", i, r)
+			}
+			seen[r] = true
+		}
+		// The plane holds one partition state, so concurrent splits would
+		// interleave their Isolate/Heal pairs like overlapping region faults.
+		for j, g := range cfg.PartitionFaults[:i] {
+			first, second := g, f
+			if second.At < first.At {
+				first, second = second, first
+			}
+			if first.Duration == 0 || second.At <= first.At+first.Duration {
+				return fmt.Errorf("acm: partition faults %d and %d overlap (a permanent partition conflicts with any later one)", j, i)
+			}
+		}
+	}
+	return nil
+}
+
 // globalStreamNames returns the director's population streams in deployment
 // order: the global browser/cohort label first, then every globally attached
 // arrival stream in configuration order.  The order is the latency
@@ -209,15 +290,30 @@ func (m *Manager) globalStreamNames() []string {
 	return streams
 }
 
-// buildDirector assembles the gslb.Director over the deployment's regions,
-// probing each region's live telemetry.
+// buildDirector assembles the global health plane over the deployment's
+// regions: the central gslb.Director, or — when GossipReplicas is set — the
+// replicated gossip.Plane whose replicas each probe their owned regions'
+// live telemetry.
 func (m *Manager) buildDirector() error {
 	if !m.cfg.GSLB.Enabled() {
 		return nil
 	}
-	d, err := gslb.NewDirector(m.cfg.GSLB, m.regionNames, m.globalStreamNames(), func(i int) cloudsim.Telemetry {
-		return m.regions[i].Telemetry()
-	})
+	sample := func(i int) cloudsim.Telemetry { return m.regions[i].Telemetry() }
+	if m.cfg.GossipReplicas > 0 {
+		p, err := gossip.New(gossip.Config{
+			Replicas: m.cfg.GossipReplicas,
+			Interval: m.cfg.GossipInterval,
+			Fanout:   m.cfg.GossipFanout,
+			Delay:    m.cfg.GossipDelay,
+			Loss:     m.cfg.GossipLoss,
+		}, m.cfg.GSLB, m.regionNames, m.cfg.Seed^hashString("gossip"), sample)
+		if err != nil {
+			return fmt.Errorf("acm: %w", err)
+		}
+		m.plane = p
+		return nil
+	}
+	d, err := gslb.NewDirector(m.cfg.GSLB, m.regionNames, m.globalStreamNames(), sample)
 	if err != nil {
 		return fmt.Errorf("acm: %w", err)
 	}
@@ -230,6 +326,28 @@ func (m *Manager) buildDirector() error {
 // republishes the routing-table snapshot to every lane while the shard
 // loops are idle.
 func (m *Manager) startDirector() {
+	if m.plane != nil {
+		// Gossip plane: two control-timeline cadences.  The probe tick
+		// advances each owning replica's health state machine (bumping the
+		// region versions); the gossip tick delivers and sends the push-pull
+		// rounds.  Both republish every replica's table to its homed lanes —
+		// serial, at exact timestamps, so the plane is byte-deterministic
+		// for any worker count.
+		probe := m.plane.GSLBConfig().ProbeInterval
+		m.stopProbe = m.eng.Ticker(probe, func(eng *simclock.Engine) {
+			m.plane.ProbeTick(eng.Now())
+			if m.el != nil {
+				m.el.installGossipTables(m.plane)
+			}
+		})
+		m.stopGossip = m.eng.Ticker(m.plane.Interval(), func(eng *simclock.Engine) {
+			m.plane.GossipTick(eng.Now())
+			if m.el != nil {
+				m.el.installGossipTables(m.plane)
+			}
+		})
+		return
+	}
 	if m.director == nil {
 		return
 	}
@@ -272,6 +390,22 @@ func (m *Manager) scheduleLinkFaults() {
 	}
 }
 
+// schedulePartitionFaults arms the scripted gossip-plane splits on the
+// control timeline.
+func (m *Manager) schedulePartitionFaults() {
+	for _, f := range m.cfg.PartitionFaults {
+		f := f
+		m.eng.ScheduleFunc(f.At, func(e *simclock.Engine) {
+			m.plane.Isolate(f.Replicas)
+			if f.Duration > 0 {
+				e.ScheduleFunc(f.Duration, func(*simclock.Engine) {
+					m.plane.Heal()
+				})
+			}
+		})
+	}
+}
+
 // scheduleFaults arms the scripted region outages on the control timeline.
 func (m *Manager) scheduleFaults() {
 	for _, f := range m.cfg.Faults {
@@ -306,14 +440,30 @@ func (m *Manager) buildSerialArrivals() error {
 	return nil
 }
 
-// Director returns the global traffic director (nil when GSLB is disabled).
+// Director returns the central global traffic director (nil when GSLB is
+// disabled or the deployment runs the gossip plane instead).
 func (m *Manager) Director() *gslb.Director { return m.director }
 
-// GSLBRouted returns how many requests the director routed to each region,
-// keyed by region name (nil when GSLB is disabled).  On the event loop the
-// per-lane counters are folded in lane order.
+// GossipPlane returns the replicated gossip health plane (nil unless
+// GossipReplicas is set).
+func (m *Manager) GossipPlane() *gossip.Plane { return m.plane }
+
+// GossipStats returns the gossip plane's protocol and convergence counters
+// (nil unless GossipReplicas is set).
+func (m *Manager) GossipStats() *gossip.Stats {
+	if m.plane == nil {
+		return nil
+	}
+	s := m.plane.Stats()
+	return &s
+}
+
+// GSLBRouted returns how many requests the global health plane (central
+// director or gossip replicas) routed to each region, keyed by region name
+// (nil when GSLB is disabled).  On the event loop the per-lane counters are
+// folded in lane order.
 func (m *Manager) GSLBRouted() map[string]uint64 {
-	if m.director == nil {
+	if m.director == nil && m.plane == nil {
 		return nil
 	}
 	out := map[string]uint64{}
@@ -324,14 +474,35 @@ func (m *Manager) GSLBRouted() map[string]uint64 {
 	return out
 }
 
-// GSLBTransitions returns the director's health-state transitions rendered
-// one per line ("t=630s region1 degraded->drained"), in probe order — the
-// drain/failover/failback record the scenario goldens pin.
-func (m *Manager) GSLBTransitions() []string {
-	if m.director == nil {
+// GSLBRoutedPerLane returns the per-lane routed counters ([lane][region]),
+// the view that tells split-brain stories apart: with the gossip plane, each
+// lane's row reflects its home replica's view of the world.  Nil when GSLB
+// is disabled.
+func (m *Manager) GSLBRoutedPerLane() [][]uint64 {
+	if m.director == nil && m.plane == nil {
 		return nil
 	}
-	trans := m.director.Transitions()
+	out := make([][]uint64, len(m.el.gslbRouted))
+	for g := range m.el.gslbRouted {
+		out[g] = append([]uint64(nil), m.el.gslbRouted[g]...)
+	}
+	return out
+}
+
+// GSLBTransitions returns the health plane's state transitions rendered one
+// per line ("t=630s region1 degraded->drained"), in probe order — the
+// drain/failover/failback record the scenario goldens pin.  With the gossip
+// plane these are the authoritative transitions as seen by region owners.
+func (m *Manager) GSLBTransitions() []string {
+	var trans []gslb.Transition
+	switch {
+	case m.plane != nil:
+		trans = m.plane.Transitions()
+	case m.director != nil:
+		trans = m.director.Transitions()
+	default:
+		return nil
+	}
 	out := make([]string, len(trans))
 	for i, t := range trans {
 		out[i] = t.String()

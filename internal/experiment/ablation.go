@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/acm"
 	"repro/internal/core"
+	"repro/internal/simclock"
 )
 
 // AblationPoint is one row of an ablation sweep: the value of the swept
@@ -110,6 +111,91 @@ func ablationPoints(jobs []Job, opt Options, point func(i int, r *Result) Ablati
 		out[i] = point(i, jr.Result)
 	}
 	return out, nil
+}
+
+// GossipPoint is one row of the gossip-interval sweep: how fast the
+// replicated health plane converges (and what routing quality costs) at one
+// gossip round period.
+type GossipPoint struct {
+	// Interval is the swept gossip round period.
+	Interval simclock.Duration
+	// Rounds, Sent, Delivered and Dropped are the plane's protocol counters
+	// over the whole run.
+	Rounds    uint64
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// MeanLagSeconds is the mean time from an owner bumping a region's health
+	// version to every replica holding that (or a newer) version — the
+	// plane's convergence time at this interval.
+	MeanLagSeconds float64
+	// MaxDivergence is the final per-region version gap between the owner and
+	// the most stale replica.
+	MaxDivergence uint64
+	// SuccessRatio and MeanResponseTime show what stale views cost clients.
+	SuccessRatio     float64
+	MeanResponseTime float64
+}
+
+// GossipIntervalSweep reruns a gossip scenario once per gossip round period,
+// one parallel job per interval, quantifying the convergence-lag-versus-
+// message-cost trade-off: halving the interval halves the mean propagation
+// lag but doubles the gossip traffic.  Every point uses the scenario's own
+// seed, so the sweep isolates the interval.
+func GossipIntervalSweep(sc Scenario, np NamedPolicy, intervals []simclock.Duration, opt ...Options) ([]GossipPoint, error) {
+	if sc.GossipReplicas <= 0 {
+		return nil, fmt.Errorf("experiment: gossip sweep needs a gossip scenario (GossipReplicas >= 1), got %q", sc.Name)
+	}
+	jobs := make([]Job, len(intervals))
+	for i, interval := range intervals {
+		if interval <= 0 {
+			return nil, fmt.Errorf("experiment: gossip interval %v must be positive", interval)
+		}
+		s := sc
+		s.GossipInterval = interval
+		s.Name = fmt.Sprintf("%s-gossip%.0fs", sc.Name, interval.Seconds())
+		jobs[i] = Job{Index: i, Scenario: s, Policy: np}
+	}
+	results, err := RunParallel(context.Background(), jobs, firstOption(opt))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GossipPoint, len(results))
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, jr.Err
+		}
+		r := jr.Result
+		if r.Gossip == nil {
+			return nil, fmt.Errorf("experiment: %s recorded no gossip stats", jr.Job.Scenario.Name)
+		}
+		out[i] = GossipPoint{
+			Interval:         intervals[i],
+			Rounds:           r.Gossip.Rounds,
+			Sent:             r.Gossip.Sent,
+			Delivered:        r.Gossip.Delivered,
+			Dropped:          r.Gossip.Dropped,
+			MeanLagSeconds:   r.Gossip.MeanLagSeconds,
+			MaxDivergence:    r.Gossip.MaxDivergence,
+			SuccessRatio:     r.SuccessRatio,
+			MeanResponseTime: r.MeanResponseTime,
+		}
+	}
+	return out, nil
+}
+
+// GossipSweepTable renders gossip-interval sweep points as an aligned text
+// table: convergence lag against message cost, one row per interval.
+func GossipSweepTable(points []GossipPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %7s %10s %8s %11s %11s %9s %10s\n",
+		"interval", "rounds", "sent", "delivered", "dropped", "meanLag(s)", "divergence", "success", "meanRT(s)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s %7d %7d %10d %8d %11.1f %11d %9.4f %10.3f\n",
+			fmt.Sprintf("%.0fs", p.Interval.Seconds()), p.Rounds, p.Sent, p.Delivered, p.Dropped,
+			p.MeanLagSeconds, p.MaxDivergence, p.SuccessRatio, p.MeanResponseTime)
+	}
+	return b.String()
 }
 
 // BaselineComparison runs Policy 2 against the non-adaptive baselines: the

@@ -66,9 +66,28 @@ type goldenSummary struct {
 	GSLBRouted      map[string]uint64 `json:"gslbRouted,omitempty"`
 	GSLBTransitions []string          `json:"gslbTransitions,omitempty"`
 
+	// Gossip pins the replicated health plane's protocol and convergence
+	// counters (message conservation, converged-update count, mean
+	// propagation lag).  Absent without GossipReplicas, so central-director
+	// goldens are unchanged.
+	Gossip *goldenGossip `json:"gossip,omitempty"`
+
 	// SeriesSHA256 hashes every recorded raw series (the full CSV dump), so
 	// the golden pins not just the summary but the entire observable run.
 	SeriesSHA256 string `json:"seriesSHA256"`
+}
+
+// goldenGossip is the byte-pinned view of gossip.Stats.
+type goldenGossip struct {
+	Replicas      int    `json:"replicas"`
+	Rounds        uint64 `json:"rounds"`
+	Sent          uint64 `json:"sent"`
+	Delivered     uint64 `json:"delivered"`
+	Dropped       uint64 `json:"dropped"`
+	Converged     int    `json:"converged"`
+	Pending       int    `json:"pending"`
+	MeanLag       string `json:"meanLagSeconds"`
+	MaxDivergence uint64 `json:"maxDivergence"`
 }
 
 // gf formats a float64 exactly (shortest representation that round-trips).
@@ -104,6 +123,19 @@ func goldenFromResult(r *Result) (goldenSummary, error) {
 	}
 	for _, f := range r.FinalFractions {
 		g.FinalFractions = append(g.FinalFractions, gf(f))
+	}
+	if r.Gossip != nil {
+		g.Gossip = &goldenGossip{
+			Replicas:      r.Gossip.Replicas,
+			Rounds:        r.Gossip.Rounds,
+			Sent:          r.Gossip.Sent,
+			Delivered:     r.Gossip.Delivered,
+			Dropped:       r.Gossip.Dropped,
+			Converged:     r.Gossip.Converged,
+			Pending:       r.Gossip.Pending,
+			MeanLag:       gf(r.Gossip.MeanLagSeconds),
+			MaxDivergence: r.Gossip.MaxDivergence,
+		}
 	}
 	return g, nil
 }

@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// The gossip health-plane suite: the global-gossip/partition/staleview
+// scenarios replace the central Director with replicated directors that only
+// share health through simulated push-pull gossip, and every lane routes on
+// its home replica's eventually-consistent view.  The plane runs entirely on
+// the control timeline, so its output must be byte-identical for
+// EventWorkers {0, 1, 4, GOMAXPROCS} exactly like the central scenarios.
+
+// gossipScenarioNames lists every registered gossip scenario.
+func gossipScenarioNames() []string {
+	return []string{"global-gossip", "global-partition", "global-staleview"}
+}
+
+// TestGlobalGossipScenarioSmoke: cheap always-on canary — every gossip
+// scenario builds, runs a few minutes, serves traffic, gossips and completes
+// control eras.
+func TestGlobalGossipScenarioSmoke(t *testing.T) {
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gossipScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := BuildScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Horizon = 5 * simclock.Minute
+			res, err := Run(sc, np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Eras == 0 {
+				t.Fatal("no control eras completed")
+			}
+			if res.Gossip == nil {
+				t.Fatal("no gossip stats recorded")
+			}
+			if res.Gossip.Replicas != 3 || res.Gossip.Rounds == 0 || res.Gossip.Sent == 0 {
+				t.Fatalf("gossip plane idle: %+v", res.Gossip)
+			}
+			total := uint64(0)
+			for _, n := range res.GSLBRouted {
+				total += n
+			}
+			if total == 0 {
+				t.Fatal("replicas routed no requests")
+			}
+			if res.SuccessRatio < 0.5 {
+				t.Fatalf("success ratio %.3f, want >= 0.5", res.SuccessRatio)
+			}
+			if res.Recorder.Series("gossip_convergence", "max_divergence").Len() == 0 {
+				t.Fatal("no gossip_convergence series recorded")
+			}
+		})
+	}
+}
+
+// TestGlobalGossipWorkersEquivalence is the gossip determinism contract:
+// byte-identical output (summary, routed counts, transition log, gossip
+// counters and the SHA-256 of every raw series, gossip_convergence included)
+// across EventWorkers 0, 1, 4 and GOMAXPROCS, for every gossip scenario.
+// The CI multicore-determinism job replays it with GOMAXPROCS=4 under -race.
+func TestGlobalGossipWorkersEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every gossip scenario once per worker count")
+	}
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{0, 1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, name := range gossipScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) []byte {
+				sc, err := BuildScenario(name, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Horizon = goldenHorizon
+				sc.EventWorkers = workers
+				res, err := Run(sc, np)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eventLoopFingerprint(t, res)
+			}
+			ref := run(counts[0])
+			for _, workers := range counts[1:] {
+				if got := run(workers); !bytes.Equal(got, ref) {
+					t.Fatalf("EventWorkers=%d diverged from EventWorkers=%d\n--- got ---\n%s\n--- want ---\n%s",
+						workers, counts[0], got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestGlobalPartitionSplitBrain asserts the split-brain story end to end on
+// the real deployment: while replica 2 is partitioned away and region1
+// blacks out, the majority side drains region1 and fails over, but the lane
+// homed to the isolated replica keeps routing into the blackout on its
+// frozen view — until the heal propagates the drain.
+func TestGlobalPartitionSplitBrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 30-minute partition simulation")
+	}
+	sc, err := BuildScenario("global-partition", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Horizon = goldenHorizon
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(sc, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Run(sc.Horizon); err != nil {
+		t.Fatal(err)
+	}
+
+	// The authoritative (owner-side) transition log still shows the drain.
+	var drained bool
+	for _, tr := range mgr.GSLBTransitions() {
+		if strings.Contains(tr, "region1 ") && strings.Contains(tr, "degraded->drained") {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatal("region1 never drained on the owner's view")
+	}
+
+	// Per-lane routed counters: the three lanes are homed to replicas 0, 1
+	// and 2 in order.  During the 8 partition minutes that overlap the
+	// blackout, only lane 2 (isolated replica) keeps sending to region1, so
+	// its region1 total must clearly exceed the majority lanes'.
+	perLane := mgr.GSLBRoutedPerLane()
+	if len(perLane) != 3 {
+		t.Fatalf("expected 3 request lanes, got %d", len(perLane))
+	}
+	if perLane[2][0] <= perLane[0][0] || perLane[2][0] <= perLane[1][0] {
+		t.Fatalf("split-brain not visible in per-lane routing: region1 counts per lane = %d/%d/%d (lane 2 should lead)",
+			perLane[0][0], perLane[1][0], perLane[2][0])
+	}
+
+	// The divergence series ramps while the partition holds region1's drain
+	// away from replica 2, and collapses after the heal.
+	div := mgr.Recorder().Series("gossip_convergence", "max_divergence")
+	if div.Len() == 0 {
+		t.Fatal("no gossip_convergence series recorded")
+	}
+	peak := 0.0
+	for _, v := range div.Values() {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 10 {
+		t.Fatalf("peak view divergence %.0f during a 10-minute partition, want >= 10 probe generations", peak)
+	}
+	if end := div.Last(); end > 2 {
+		t.Fatalf("final view divergence %.0f, want near 0 after the heal", end)
+	}
+
+	// Cross-cut gossip messages were dropped, and the plane kept converging
+	// afterwards.
+	st := mgr.GossipStats()
+	if st == nil || st.Dropped == 0 {
+		t.Fatalf("expected partition drops in the gossip stats: %+v", st)
+	}
+}
+
+// TestGoldenGlobalGossipScenarios byte-pins every gossip scenario under
+// policy2 — summary, routed counts, transition log, gossip counters and the
+// SHA-256 of the raw series (which include gossip_convergence).  Regenerate
+// with:
+//
+//	go test ./internal/experiment -run TestGoldenGlobalGossip -update
+func TestGoldenGlobalGossipScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three 30-minute gossip simulations")
+	}
+	np, err := PolicyByKey("policy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gossipScenarioNames() {
+		name := name
+		t.Run(name+"/policy2", func(t *testing.T) {
+			sc, err := BuildScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Horizon = goldenHorizon
+			res, err := Run(sc, np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := eventLoopFingerprint(t, res)
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("%s-policy2.json", name))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("summary drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGossipScenarioJSONRoundTrip: the gossip scenarios must survive the
+// config-file round trip including the gossip tuning fields and the
+// partition-fault schedule.
+func TestGossipScenarioJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range gossipScenarioNames() {
+		sc, err := BuildScenario(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := SaveScenarioFile(path, sc); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadScenarioFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.GossipReplicas != sc.GossipReplicas || back.GossipInterval != sc.GossipInterval ||
+			back.GossipFanout != sc.GossipFanout || back.GossipDelay != sc.GossipDelay ||
+			back.GossipLoss != sc.GossipLoss || len(back.PartitionFaults) != len(sc.PartitionFaults) {
+			t.Fatalf("%s: round trip lost gossip fields: %+v", name, back)
+		}
+		for i, f := range sc.PartitionFaults {
+			g := back.PartitionFaults[i]
+			if g.At != f.At || g.Duration != f.Duration || len(g.Replicas) != len(f.Replicas) {
+				t.Fatalf("%s: partition fault %d changed: %+v -> %+v", name, i, f, g)
+			}
+		}
+	}
+}

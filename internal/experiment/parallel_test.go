@@ -15,7 +15,7 @@ import (
 func init() {
 	// A reduced figure-3-shaped scenario so parallel sweeps stay fast in unit
 	// tests; registered once for every test in the package.
-	RegisterScenario("quick-test", "reduced two-region scenario for unit tests", func(seed uint64) Scenario {
+	registerTestScenario("quick-test", "reduced two-region scenario for unit tests", func(seed uint64) Scenario {
 		sc := quickScenario(seed)
 		sc.Horizon = 12 * simclock.Minute
 		return sc

@@ -30,12 +30,28 @@ var (
 type registered struct {
 	ctor Constructor
 	desc string
+	// test marks scenarios registered by test files; they behave like any
+	// other registration but are excluded from the generated documentation,
+	// so running the docs generator inside a test binary yields the same
+	// catalogue as running it from the CLI.
+	test bool
 }
 
 // RegisterScenario adds a named scenario constructor to the registry.  It
 // panics on a duplicate or empty name — registration is a program-structure
 // error, not a runtime condition.
 func RegisterScenario(name, description string, ctor Constructor) {
+	registerScenario(name, description, ctor, false)
+}
+
+// registerTestScenario is RegisterScenario for test fixtures: the scenario is
+// buildable and sweepable like any other but stays out of the documented
+// catalogue (ScenariosMarkdown).
+func registerTestScenario(name, description string, ctor Constructor) {
+	registerScenario(name, description, ctor, true)
+}
+
+func registerScenario(name, description string, ctor Constructor, test bool) {
 	if name == "" || ctor == nil {
 		panic("experiment: RegisterScenario needs a name and a constructor")
 	}
@@ -44,7 +60,7 @@ func RegisterScenario(name, description string, ctor Constructor) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("experiment: scenario %q registered twice", name))
 	}
-	registry[name] = registered{ctor: ctor, desc: description}
+	registry[name] = registered{ctor: ctor, desc: description, test: test}
 }
 
 // BuildScenario constructs the named scenario with the given seed.
@@ -65,6 +81,21 @@ func ScenarioNames() []string {
 	names := make([]string, 0, len(registry))
 	for n := range registry {
 		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// documentedScenarioNames returns the registered non-test scenario names,
+// sorted — the set the generated scenario catalogue covers.
+func documentedScenarioNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n, reg := range registry {
+		if !reg.test {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -93,6 +124,9 @@ func init() {
 	RegisterScenario("global-diurnal", "inhomogeneous-Poisson diurnal streams peaking per-region a third of a cycle apart, plus static-weight global clients", GlobalDiurnalScenario)
 	RegisterScenario("global-latency", "globally attached streams routed by learned per-(stream, region) RTT (capacity over squared EWMA latency)", GlobalLatencyScenario)
 	RegisterScenario("global-cablecut", "global-latency plus a mid-run cable cut doubling the americas-to-region1 RTT; the director learns the shift passively", GlobalCableCutScenario)
+	RegisterScenario("global-gossip", "three gossip director replicas converging on region health through 10 s push-pull rounds while staggered outages churn the views", GlobalGossipScenario)
+	RegisterScenario("global-partition", "split-brain: a partitioned replica keeps routing its lanes to a blacked-out region until the partition heals", GlobalPartitionScenario)
+	RegisterScenario("global-staleview", "slow lossy gossip leaves two replicas overloading a shrunken region on stale healthy views", GlobalStaleViewScenario)
 	RegisterScenario("megaclients", "10^6 cohort-compressed clients on the 16-shard megaregion (1% tracers feed the latency series)", MegaclientsScenario)
 	RegisterScenario("global-megaclients", "1.2x10^6 cohort-compressed clients routed by the director's least-load policy over three 10^3-VM regions", GlobalMegaclientsScenario)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/acm"
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -58,6 +59,9 @@ type Result struct {
 	// GSLBTransitions is the director's health-transition log, one line per
 	// state change in probe order — the drain/failover/failback record.
 	GSLBTransitions []string
+	// Gossip is the replicated health plane's protocol and convergence
+	// counters (nil unless the scenario sets GossipReplicas).
+	Gossip *gossip.Stats
 	// Eras is the number of completed control eras.
 	Eras uint64
 	// ProactiveRejuvenations, ReactiveRecoveries and Crashes aggregate the
@@ -156,6 +160,7 @@ func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
 	}
 	res.GSLBRouted = mgr.GSLBRouted()
 	res.GSLBTransitions = mgr.GSLBTransitions()
+	res.Gossip = mgr.GossipStats()
 	for _, s := range mgr.VMCStats() {
 		res.ProactiveRejuvenations += s.ProactiveRejuvenations
 		res.ReactiveRecoveries += s.ReactiveRecoveries

@@ -83,6 +83,23 @@ type Scenario struct {
 	// LinkFaults is the scripted network-path degradation schedule driving
 	// latency-routing experiments (requires a latency-aware GSLB config).
 	LinkFaults []acm.LinkFault
+	// GossipReplicas replaces the central director with this many replicated
+	// directors exchanging health over the simulated gossip plane; each
+	// request lane routes on its home replica's eventually-consistent view.
+	// Requires GSLB; zero keeps the central director.
+	GossipReplicas int
+	// GossipInterval is the gossip round period (10 s when zero).
+	GossipInterval simclock.Duration
+	// GossipFanout is how many peers each replica pushes to per round
+	// (1 when zero).
+	GossipFanout int
+	// GossipDelay is the per-message link delay of the gossip plane.
+	GossipDelay simclock.Duration
+	// GossipLoss is the per-message Bernoulli loss probability in [0, 1).
+	GossipLoss float64
+	// PartitionFaults scripts replica-set splits of the gossip plane —
+	// the split-brain stimulus of the global-partition scenario.
+	PartitionFaults []acm.PartitionFault
 	// TailFraction is the fraction of the run treated as steady state when
 	// judging convergence and oscillation (0.4 when zero).
 	TailFraction float64
@@ -147,6 +164,12 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		Arrivals:        s.Arrivals,
 		Faults:          s.Faults,
 		LinkFaults:      s.LinkFaults,
+		GossipReplicas:  s.GossipReplicas,
+		GossipInterval:  s.GossipInterval,
+		GossipFanout:    s.GossipFanout,
+		GossipDelay:     s.GossipDelay,
+		GossipLoss:      s.GossipLoss,
+		PartitionFaults: s.PartitionFaults,
 	}
 }
 
@@ -580,6 +603,89 @@ func GlobalCableCutScenario(seed uint64) Scenario {
 		{Stream: "americas", Region: "region1", At: 12 * simclock.Minute, Factor: 2},
 	}
 	return s.withDefaults()
+}
+
+// GlobalGossipScenario exercises the replicated health plane under churn:
+// 192 global clients route by least load through three director replicas
+// that only share health via 10-second push-pull gossip rounds, while two
+// staggered partial outages (region2 minutes 8-14, region3 minutes 18-24)
+// keep the owned views changing.  Each request lane is homed to one replica,
+// so routing reflects three slightly divergent views whose drift and
+// re-convergence the gossip_convergence series pins byte-for-byte.
+func GlobalGossipScenario(seed uint64) Scenario {
+	return Scenario{
+		Name:          "global-gossip",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 192,
+		GSLB: gslb.Config{
+			Policy: gslb.PolicyLeastLoad,
+		},
+		GossipReplicas: 3,
+		GossipInterval: 10 * simclock.Second,
+		Faults: []acm.RegionFault{
+			{Region: "region2", At: 8 * simclock.Minute, Duration: 6 * simclock.Minute, KeepActive: 2},
+			{Region: "region3", At: 18 * simclock.Minute, Duration: 6 * simclock.Minute, KeepActive: 1},
+		},
+	}.withDefaults()
+}
+
+// GlobalPartitionScenario is the split-brain experiment the central director
+// cannot express: replica 2 is partitioned away from minutes 8 to 18, and
+// region1 (whose health only replica 0 probes) blacks out from minutes 10 to
+// 20.  The majority side drains region1 and fails over to region2 within two
+// probes; the isolated replica's view stays frozen at "region1 healthy", so
+// the lanes homed to it keep routing a third of the traffic into the
+// blacked-out region until the partition heals and two gossip rounds pull
+// the drain across.  The golden pins the divergence ramp in the
+// gossip_convergence series and the routed counts that keep climbing for a
+// dead region.
+func GlobalPartitionScenario(seed uint64) Scenario {
+	return Scenario{
+		Name:          "global-partition",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 256,
+		GSLB: gslb.Config{
+			Policy:     gslb.PolicyFailover,
+			Preference: []string{"region1", "region2", "region3"},
+		},
+		GossipReplicas: 3,
+		GossipInterval: 10 * simclock.Second,
+		PartitionFaults: []acm.PartitionFault{
+			{At: 8 * simclock.Minute, Duration: 10 * simclock.Minute, Replicas: []int{2}},
+		},
+		Faults: []acm.RegionFault{
+			{Region: "region1", At: 10 * simclock.Minute, Duration: 10 * simclock.Minute, KeepActive: 0},
+		},
+	}.withDefaults()
+}
+
+// GlobalStaleViewScenario overloads a recovering region with stale healthy
+// views: gossip rounds are slow (40 s) and lossy (25%), so when region1
+// shrinks to a single VM between minutes 6 and 14, only its owning replica
+// reacts quickly — the other two keep routing their lanes' full least-load
+// share at a region that can no longer take it, and after the outage the
+// drain/recovery states propagate just as sluggishly.  The gap between the
+// owner's view and the laggards' is exactly what the gossip_convergence
+// series and the drop counts pin.
+func GlobalStaleViewScenario(seed uint64) Scenario {
+	return Scenario{
+		Name:          "global-staleview",
+		Seed:          seed,
+		Regions:       globalRegions(),
+		GlobalClients: 192,
+		GSLB: gslb.Config{
+			Policy: gslb.PolicyLeastLoad,
+		},
+		GossipReplicas: 3,
+		GossipInterval: 40 * simclock.Second,
+		GossipLoss:     0.25,
+		GossipDelay:    2 * simclock.Second,
+		Faults: []acm.RegionFault{
+			{Region: "region1", At: 6 * simclock.Minute, Duration: 8 * simclock.Minute, KeepActive: 1},
+		},
+	}.withDefaults()
 }
 
 // Policies returns the three policies of the paper keyed by the short names

@@ -1,0 +1,505 @@
+// Package gossip replicates the gslb health plane: instead of one central
+// Director probing every region, N director replicas each own a private copy
+// of the per-region health state machine and exchange versioned health
+// summaries over a simulated SWIM-style push-pull protocol, so every replica
+// routes on its own eventually-consistent view of the world.  Request lanes
+// are assigned to a home replica (lane g reads replica g mod N's table), which
+// is what lets two lanes route on conflicting views of the same region — the
+// split-brain, partition and stale-view failure modes the central model
+// cannot express.
+//
+// Region ownership is static: region i is probed by replica i mod N, and the
+// owner bumps the region's version with every probe.  A gossip round delivers
+// the messages that have arrived (adopting any summary with a newer version),
+// then every replica pushes its full view to Fanout peers drawn from a
+// derived RNG stream; a delivered push is answered with a pull reply carrying
+// the receiver's view, so state flows both ways.  Messages carry a delivery
+// timestamp (send time + Delay) and an optional Bernoulli loss draw, and sit
+// in per-(src, dst) mailbox lanes that are drained in (dst, src, send order)
+// — the same deterministic drain discipline as the sharded engine's
+// cross-shard mailboxes.
+//
+// Everything here runs on the simulation's control timeline (ProbeTick and
+// GossipTick fire from control-timeline tickers, while every region shard is
+// idle), so the plane is byte-deterministic for any event-loop worker count
+// by construction; the request path only ever reads the immutable per-replica
+// *gslb.Table snapshots.
+//
+// Partitions are scripted, not emergent: Isolate splits the replica set in
+// two and cross-side messages are dropped at delivery time until Heal
+// reconnects everyone.  The plane also measures its own convergence — every
+// version bump is tracked until all replicas have seen it (mean lag), and
+// MaxDivergence reports how many probe generations the most stale replica is
+// behind, which feeds the gossip_convergence series.
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloudsim"
+	"repro/internal/gslb"
+	"repro/internal/simclock"
+)
+
+// Config tunes the replicated health plane.  The zero value of every field
+// except Replicas means "default applies"; Replicas must be at least 1.
+type Config struct {
+	// Replicas is the number of director replicas (at least 1; a typical
+	// deployment runs 3).
+	Replicas int
+	// Interval is the gossip round period on the control timeline (10 s when
+	// zero).  Each round first delivers due messages, then sends new pushes.
+	Interval simclock.Duration
+	// Fanout is how many peers each replica pushes to per round (1 when
+	// zero; capped at Replicas-1).
+	Fanout int
+	// Delay is the per-message link delay.  A message sent in one round is
+	// delivered at the first round whose start time is >= send time + Delay,
+	// so even Delay 0 costs one round of latency.
+	Delay simclock.Duration
+	// Loss is the per-message Bernoulli loss probability in [0, 1).
+	Loss float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 10 * simclock.Second
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 1
+	}
+	if c.Replicas > 1 && c.Fanout > c.Replicas-1 {
+		c.Fanout = c.Replicas - 1
+	}
+	return c
+}
+
+// Summary is one region's versioned health digest as carried by gossip
+// messages: enough to rebuild a routing table, nothing more.
+type Summary struct {
+	// Version counts the owner's probes of this region; higher wins.
+	Version uint64
+	// State and Capacity mirror the owner's gslb.Health at that version.
+	State    gslb.HealthState
+	Capacity float64
+}
+
+// message is one in-flight push or pull reply: a full view snapshot stamped
+// with its delivery time.
+type message struct {
+	reply     bool // pull reply (does not trigger another reply)
+	deliverAt simclock.Time
+	view      []Summary
+}
+
+// replica is one director replica: its private health state machines (live
+// for owned regions, mirrored from gossip for the rest), its versioned view,
+// and the routing table built from that view.
+type replica struct {
+	health []gslb.Health
+	view   []Summary
+	table  *gslb.Table
+}
+
+// update tracks one owner version bump until every replica has seen it.
+type update struct {
+	region  int
+	version uint64
+	at      simclock.Time
+}
+
+// Stats summarises the plane's protocol and convergence counters for reports
+// and byte-pinned goldens.
+type Stats struct {
+	// Replicas and Rounds are the replica count and completed gossip rounds.
+	Replicas int
+	Rounds   uint64
+	// Sent / Delivered / Dropped count gossip messages; Dropped folds both
+	// Bernoulli link loss and partition drops.
+	Sent, Delivered, Dropped uint64
+	// Converged counts owner version bumps every replica has seen;
+	// Pending counts bumps still propagating at the end of the run.
+	Converged, Pending int
+	// MeanLagSeconds is the mean time from a version bump to full
+	// convergence, over the Converged updates (0 when none converged).
+	MeanLagSeconds float64
+	// MaxDivergence is the current maximum, over regions, of how many probe
+	// generations the most stale replica's view is behind the owner.
+	MaxDivergence uint64
+}
+
+// Plane is the replicated health plane.  ProbeTick and GossipTick are
+// control-timeline-only; the request path reads the immutable per-replica
+// Table snapshots.
+type Plane struct {
+	cfg     Config
+	gcfg    gslb.Config // defaults applied
+	regions []string
+	pref    []int
+	sample  func(i int) cloudsim.Telemetry
+	reps    []*replica
+	rng     *simclock.RNG
+	// lanes[src][dst] is the in-flight message queue from replica src to
+	// replica dst, in send order (delivery times are non-decreasing within a
+	// lane, so draining a due prefix preserves order).
+	lanes [][][]message
+	// group[i] is replica i's partition side; all zero when connected.
+	group    []int
+	split    bool
+	splits   int
+	trans    []gslb.Transition
+	probes   uint64
+	rounds   uint64
+	sent     uint64
+	deliv    uint64
+	dropped  uint64
+	pending  []update
+	lagSum   float64
+	lagCount int
+}
+
+// New builds a replicated health plane over the named regions (deployment
+// order).  gcfg is the shared director policy configuration every replica
+// builds its table from; the latency policy is rejected (its per-lane
+// passive estimators are inherently central — see gslb.Director).  seed
+// derives the plane's private RNG stream (peer selection and loss draws).
+// sample returns the current telemetry of region i; it is only called from
+// ProbeTick, by the owning replica.
+func New(cfg Config, gcfg gslb.Config, regions []string, seed uint64, sample func(i int) cloudsim.Telemetry) (*Plane, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("gossip: Replicas = %d; need at least 1", cfg.Replicas)
+	}
+	if l := cfg.Loss; math.IsNaN(l) || l < 0 || l >= 1 {
+		return nil, fmt.Errorf("gossip: Loss = %v; must lie in [0, 1)", l)
+	}
+	if cfg.Interval < 0 || cfg.Delay < 0 {
+		return nil, fmt.Errorf("gossip: negative Interval or Delay")
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("gossip: Fanout = %d; must be >= 0", cfg.Fanout)
+	}
+	if !gcfg.Enabled() {
+		return nil, fmt.Errorf("gossip: gslb config has no policy")
+	}
+	if _, err := gslb.ParsePolicy(string(gcfg.Policy)); err != nil {
+		return nil, err
+	}
+	if gcfg.LatencyAware() {
+		return nil, fmt.Errorf("gossip: the latency policy (and RTT matrices) need central passive estimators; use the central director")
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("gossip: no regions")
+	}
+	if sample == nil {
+		return nil, fmt.Errorf("gossip: nil telemetry sampler")
+	}
+	if err := gcfg.Validate(regions, nil); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	gcfg = gcfg.WithDefaults()
+	pref, err := gslb.PreferenceOrder(gcfg.Preference, regions)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		cfg:     cfg,
+		gcfg:    gcfg,
+		regions: append([]string(nil), regions...),
+		pref:    pref,
+		sample:  sample,
+		reps:    make([]*replica, cfg.Replicas),
+		rng:     simclock.NewRNG(seed),
+		group:   make([]int, cfg.Replicas),
+		lanes:   make([][][]message, cfg.Replicas),
+	}
+	for i := range p.lanes {
+		p.lanes[i] = make([][]message, cfg.Replicas)
+	}
+	for i := range p.reps {
+		r := &replica{
+			health: make([]gslb.Health, len(regions)),
+			view:   make([]Summary, len(regions)),
+		}
+		for j := range r.health {
+			r.health[j] = gslb.NewHealth()
+			r.view[j] = Summary{State: gslb.Healthy, Capacity: 1}
+		}
+		r.table = gslb.BuildTable(gcfg, pref, r.health)
+		p.reps[i] = r
+	}
+	return p, nil
+}
+
+// owner returns the replica that probes region r.
+func (p *Plane) owner(r int) int { return r % len(p.reps) }
+
+// NumReplicas returns the replica count.
+func (p *Plane) NumReplicas() int { return len(p.reps) }
+
+// Regions returns the region names in deployment order.
+func (p *Plane) Regions() []string { return append([]string(nil), p.regions...) }
+
+// GSLBConfig returns the shared director configuration with defaults applied.
+func (p *Plane) GSLBConfig() gslb.Config { return p.gcfg }
+
+// Interval returns the gossip round period with defaults applied.
+func (p *Plane) Interval() simclock.Duration { return p.cfg.Interval }
+
+// Home returns the replica a request lane is assigned to: lane g routes on
+// replica (g mod N)'s table, so lanes homed to different replicas can act on
+// conflicting views.
+func (p *Plane) Home(lane int) int {
+	if lane < 0 {
+		lane = -lane
+	}
+	return lane % len(p.reps)
+}
+
+// Table returns replica i's current routing-table snapshot.
+func (p *Plane) Table(i int) *gslb.Table { return p.reps[i].table }
+
+// OwnerStates returns each region's health state as seen by its owning
+// replica — the authoritative view, in deployment order.
+func (p *Plane) OwnerStates() []gslb.HealthState {
+	out := make([]gslb.HealthState, len(p.regions))
+	for r := range p.regions {
+		out[r] = p.reps[p.owner(r)].view[r].State
+	}
+	return out
+}
+
+// ReplicaStates returns replica i's (possibly stale) view of every region's
+// health state, in deployment order.
+func (p *Plane) ReplicaStates(i int) []gslb.HealthState {
+	out := make([]gslb.HealthState, len(p.regions))
+	for r := range p.regions {
+		out[r] = p.reps[i].view[r].State
+	}
+	return out
+}
+
+// Transitions returns every authoritative health-state change (as seen by
+// region owners) so far, in probe order.
+func (p *Plane) Transitions() []gslb.Transition {
+	return append([]gslb.Transition(nil), p.trans...)
+}
+
+// Probes returns the number of completed probe ticks.
+func (p *Plane) Probes() uint64 { return p.probes }
+
+// Partitioned reports whether the replica set is currently split.
+func (p *Plane) Partitioned() bool { return p.split }
+
+// Isolate splits the replica set in two: the listed replicas form one side,
+// everyone else the other.  Cross-side messages are dropped at delivery time
+// (a message sent before the split but due during it is lost; one sent
+// during the split but due after Heal gets through), so each side keeps
+// converging internally while the views across the cut drift apart.
+func (p *Plane) Isolate(replicas []int) {
+	for i := range p.group {
+		p.group[i] = 0
+	}
+	for _, i := range replicas {
+		if i >= 0 && i < len(p.group) {
+			p.group[i] = 1
+		}
+	}
+	p.split = true
+	p.splits++
+}
+
+// Heal reconnects all replicas; in-flight messages resume delivery and the
+// next rounds reconcile the sides.
+func (p *Plane) Heal() {
+	for i := range p.group {
+		p.group[i] = 0
+	}
+	p.split = false
+}
+
+// ProbeTick advances the owned health state machines: each region's owner
+// samples its telemetry, steps the debounced gslb state machine, bumps the
+// region's version and rebuilds its table.  Must run on the control timeline.
+func (p *Plane) ProbeTick(now simclock.Time) {
+	p.probes++
+	for r := range p.regions {
+		rep := p.reps[p.owner(r)]
+		from, to := rep.health[r].Probe(p.gcfg, p.sample(r))
+		v := rep.view[r].Version + 1
+		rep.view[r] = Summary{Version: v, State: to, Capacity: rep.health[r].Capacity}
+		if from != to {
+			p.trans = append(p.trans, gslb.Transition{At: now, Region: p.regions[r], From: from, To: to})
+		}
+		p.pending = append(p.pending, update{region: r, version: v, at: now})
+	}
+	for _, rep := range p.reps {
+		rep.table = gslb.BuildTable(p.gcfg, p.pref, rep.health)
+	}
+	p.settleUpdates(now)
+}
+
+// GossipTick runs one gossip round: deliver every message that is due, then
+// have each replica push its view to Fanout peers.  Must run on the control
+// timeline.
+func (p *Plane) GossipTick(now simclock.Time) {
+	p.rounds++
+	p.deliver(now)
+	if len(p.reps) > 1 {
+		for i := range p.reps {
+			for _, peer := range p.pickPeers(i) {
+				p.send(now, i, peer, false)
+			}
+		}
+	}
+	for _, rep := range p.reps {
+		rep.table = gslb.BuildTable(p.gcfg, p.pref, rep.health)
+	}
+	p.settleUpdates(now)
+}
+
+// deliver drains every due message in (dst, src, send order) — the mailbox
+// drain discipline — adopting newer summaries and answering pushes with pull
+// replies.
+func (p *Plane) deliver(now simclock.Time) {
+	for dst := range p.reps {
+		for src := range p.reps {
+			lane := p.lanes[src][dst]
+			n := 0
+			for n < len(lane) && lane[n].deliverAt <= now {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			due := lane[:n]
+			p.lanes[src][dst] = lane[n:]
+			for _, msg := range due {
+				if p.group[src] != p.group[dst] {
+					p.dropped++
+					continue
+				}
+				p.deliv++
+				p.adopt(dst, msg.view)
+				if !msg.reply {
+					p.send(now, dst, src, true)
+				}
+			}
+		}
+	}
+}
+
+// adopt merges an incoming view into replica dst: any region whose incoming
+// version is newer replaces the local summary and health mirror.  Owned
+// regions are naturally immune — only the owner bumps their version, so an
+// incoming version can never exceed the owner's own.
+func (p *Plane) adopt(dst int, view []Summary) {
+	rep := p.reps[dst]
+	for r := range view {
+		if r >= len(rep.view) || view[r].Version <= rep.view[r].Version {
+			continue
+		}
+		rep.view[r] = view[r]
+		rep.health[r].State = view[r].State
+		rep.health[r].Capacity = view[r].Capacity
+	}
+}
+
+// send enqueues a snapshot of src's view for dst, subject to the Bernoulli
+// loss draw.  Delivery happens at the first round start >= now + Delay.
+func (p *Plane) send(now simclock.Time, src, dst int, reply bool) {
+	p.sent++
+	if p.cfg.Loss > 0 && p.rng.Float64() < p.cfg.Loss {
+		p.dropped++
+		return
+	}
+	view := make([]Summary, len(p.reps[src].view))
+	copy(view, p.reps[src].view)
+	p.lanes[src][dst] = append(p.lanes[src][dst], message{
+		reply:     reply,
+		deliverAt: now.Add(p.cfg.Delay),
+		view:      view,
+	})
+}
+
+// pickPeers draws Fanout distinct peers (excluding self) from the plane's
+// RNG stream.
+func (p *Plane) pickPeers(self int) []int {
+	n := len(p.reps) - 1
+	k := p.cfg.Fanout
+	if k > n {
+		k = n
+	}
+	// Partial Fisher–Yates over the peer set.
+	pool := make([]int, 0, n)
+	for i := range p.reps {
+		if i != self {
+			pool = append(pool, i)
+		}
+	}
+	for j := 0; j < k; j++ {
+		swap := j + p.rng.Intn(n-j)
+		pool[j], pool[swap] = pool[swap], pool[j]
+	}
+	return pool[:k]
+}
+
+// minVersion returns the lowest view version any replica holds for region r.
+func (p *Plane) minVersion(r int) uint64 {
+	min := p.reps[0].view[r].Version
+	for _, rep := range p.reps[1:] {
+		if v := rep.view[r].Version; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// settleUpdates retires every pending version bump that all replicas have
+// now seen, folding its propagation lag into the convergence stats.
+func (p *Plane) settleUpdates(now simclock.Time) {
+	kept := p.pending[:0]
+	for _, u := range p.pending {
+		if p.minVersion(u.region) >= u.version {
+			p.lagSum += now.Sub(u.at).Seconds()
+			p.lagCount++
+			continue
+		}
+		kept = append(kept, u)
+	}
+	p.pending = kept
+}
+
+// MaxDivergence returns the current maximum, over regions, of the version
+// distance between the owner's view and the most stale replica's view — 0
+// when every replica agrees, growing by one per probe for a region whose
+// owner is cut off from some replica.
+func (p *Plane) MaxDivergence() uint64 {
+	var max uint64
+	for r := range p.regions {
+		d := p.reps[p.owner(r)].view[r].Version - p.minVersion(r)
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Stats returns the plane's protocol and convergence counters.
+func (p *Plane) Stats() Stats {
+	s := Stats{
+		Replicas:      len(p.reps),
+		Rounds:        p.rounds,
+		Sent:          p.sent,
+		Delivered:     p.deliv,
+		Dropped:       p.dropped,
+		Converged:     p.lagCount,
+		Pending:       len(p.pending),
+		MaxDivergence: p.MaxDivergence(),
+	}
+	if p.lagCount > 0 {
+		s.MeanLagSeconds = p.lagSum / float64(p.lagCount)
+	}
+	return s
+}

@@ -1,0 +1,277 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/gslb"
+	"repro/internal/simclock"
+)
+
+// telSource is a scriptable telemetry sampler: healthy full-capacity regions
+// unless a region is marked down.
+type telSource struct {
+	regions []string
+	down    map[int]bool
+}
+
+func (ts *telSource) sample(i int) cloudsim.Telemetry {
+	tel := cloudsim.Telemetry{
+		Region:         ts.regions[i],
+		ActiveVMs:      4,
+		BaselineActive: 4,
+		Capacity:       100,
+	}
+	if ts.down[i] {
+		tel.ActiveVMs = 0
+		tel.Capacity = 0
+	}
+	return tel
+}
+
+func newTestPlane(t *testing.T, cfg Config, gcfg gslb.Config, ts *telSource) *Plane {
+	t.Helper()
+	p, err := New(cfg, gcfg, ts.regions, 42, ts.sample)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func threeRegions() *telSource {
+	return &telSource{regions: []string{"region1", "region2", "region3"}, down: map[int]bool{}}
+}
+
+// run advances the plane through n probe+gossip rounds, one per simulated
+// interval (probe first, then gossip, matching the acm wiring's two tickers
+// firing at the same cadence for the test).
+func run(p *Plane, start simclock.Time, n int, step simclock.Duration) simclock.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		now = now.Add(step)
+		p.ProbeTick(now)
+		p.GossipTick(now)
+	}
+	return now
+}
+
+func TestGossipConvergesWithoutFaults(t *testing.T) {
+	ts := threeRegions()
+	p := newTestPlane(t, Config{Replicas: 3}, gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+	run(p, 0, 12, 10*simclock.Second)
+	// With fanout 1 and no loss, a dozen rounds are plenty for every bump to
+	// settle within a round or two; divergence must be bounded by the rounds
+	// still in flight, and most updates must have converged.
+	st := p.Stats()
+	if st.Converged == 0 {
+		t.Fatalf("no updates converged: %+v", st)
+	}
+	if st.MaxDivergence > 3 {
+		t.Fatalf("divergence %d too high for a connected plane: %+v", st.MaxDivergence, st)
+	}
+	if st.MeanLagSeconds <= 0 {
+		t.Fatalf("expected positive mean lag, got %v", st.MeanLagSeconds)
+	}
+	if st.Sent == 0 || st.Delivered == 0 || st.Dropped != 0 {
+		t.Fatalf("unexpected message counters: %+v", st)
+	}
+}
+
+func TestGossipDeterministicReplay(t *testing.T) {
+	type trace struct {
+		stats Stats
+		views [][]gslb.HealthState
+	}
+	collect := func() trace {
+		ts := threeRegions()
+		p := newTestPlane(t, Config{Replicas: 3, Loss: 0.2, Delay: 3 * simclock.Second, Fanout: 2},
+			gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+		now := simclock.Time(0)
+		for i := 0; i < 20; i++ {
+			now = now.Add(10 * simclock.Second)
+			if i == 5 {
+				ts.down[0] = true
+			}
+			if i == 12 {
+				ts.down[0] = false
+			}
+			p.ProbeTick(now)
+			p.GossipTick(now)
+		}
+		tr := trace{stats: p.Stats()}
+		for i := 0; i < p.NumReplicas(); i++ {
+			tr.views = append(tr.views, p.ReplicaStates(i))
+		}
+		return tr
+	}
+	a, b := collect(), collect()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestGossipAdoptsOnlyNewerVersions(t *testing.T) {
+	ts := threeRegions()
+	p := newTestPlane(t, Config{Replicas: 3}, gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+	// Owner of region0 is replica 0.  Probe twice so versions move.
+	run(p, 0, 2, 10*simclock.Second)
+	own := p.reps[0].view[0]
+	// A stale (version 1) summary claiming region0 drained must not override
+	// the owner's newer view, on the owner or on a replica that has already
+	// adopted the newer version.
+	stale := []Summary{{Version: 1, State: gslb.Drained, Capacity: 0}, {}, {}}
+	p.adopt(0, stale)
+	if got := p.reps[0].view[0]; got != own {
+		t.Fatalf("owner adopted stale summary: %+v -> %+v", own, got)
+	}
+	p.adopt(1, stale)
+	if got := p.reps[1].view[0]; got.Version < 2 || got.State == gslb.Drained {
+		t.Fatalf("replica 1 regressed to stale summary: %+v", got)
+	}
+	// A genuinely newer summary is adopted by a non-owner.
+	newer := []Summary{{Version: own.Version + 5, State: gslb.Drained, Capacity: 0}, {}, {}}
+	p.adopt(1, newer)
+	if got := p.reps[1].view[0]; got.Version != own.Version+5 || got.State != gslb.Drained {
+		t.Fatalf("replica 1 refused newer summary: %+v", got)
+	}
+}
+
+func TestGossipPartitionSplitBrainAndHeal(t *testing.T) {
+	ts := threeRegions()
+	p := newTestPlane(t, Config{Replicas: 3}, gslb.Config{
+		Policy:     gslb.PolicyFailover,
+		Preference: []string{"region1", "region2", "region3"},
+	}, ts)
+	step := 10 * simclock.Second
+	now := run(p, 0, 3, step) // everyone converged, all healthy
+
+	// Cut replica 2 off, then black out region1 (owned by replica 0).
+	p.Isolate([]int{2})
+	if !p.Partitioned() {
+		t.Fatalf("Isolate did not mark the plane partitioned")
+	}
+	ts.down[0] = true
+	now = run(p, now, 6, step)
+
+	// The majority side drained region1 and fails over; the isolated
+	// replica still routes lane traffic to the blacked-out region1.
+	if s := p.ReplicaStates(0)[0]; s != gslb.Drained {
+		t.Fatalf("owner view of region1 = %v, want drained", s)
+	}
+	if s := p.ReplicaStates(2)[0]; s != gslb.Healthy {
+		t.Fatalf("isolated replica view of region1 = %v, want stale healthy", s)
+	}
+	rng := simclock.NewRNG(1)
+	var rr uint64
+	if got := p.Table(2).Route(rng, &rr); got != 0 {
+		t.Fatalf("isolated replica routes to region %d, want stale region 0", got)
+	}
+	if got := p.Table(0).Route(rng, &rr); got != 1 {
+		t.Fatalf("majority replica routes to region %d, want failover region 1", got)
+	}
+	if d := p.MaxDivergence(); d < 4 {
+		t.Fatalf("divergence %d during partition, want >= 4", d)
+	}
+	dropped := p.Stats().Dropped
+	if dropped == 0 {
+		t.Fatalf("no messages dropped across the cut")
+	}
+
+	// Heal: the isolated replica catches up and fails over too.
+	p.Heal()
+	now = run(p, now, 3, step)
+	if s := p.ReplicaStates(2)[0]; s != gslb.Drained {
+		t.Fatalf("after heal, replica 2 view of region1 = %v, want drained", s)
+	}
+	if got := p.Table(2).Route(rng, &rr); got != 1 {
+		t.Fatalf("after heal, replica 2 routes to region %d, want 1", got)
+	}
+	if d := p.MaxDivergence(); d > 2 {
+		t.Fatalf("divergence %d after heal, want near 0", d)
+	}
+	_ = now
+}
+
+func TestGossipLossDropsMessages(t *testing.T) {
+	ts := threeRegions()
+	p := newTestPlane(t, Config{Replicas: 3, Loss: 0.5}, gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+	run(p, 0, 10, 10*simclock.Second)
+	st := p.Stats()
+	if st.Dropped == 0 || st.Delivered == 0 {
+		t.Fatalf("want both drops and deliveries under 50%% loss: %+v", st)
+	}
+	if st.Sent != st.Delivered+st.Dropped+inFlight(p) {
+		t.Fatalf("message conservation violated: %+v (in flight %d)", st, inFlight(p))
+	}
+}
+
+func inFlight(p *Plane) uint64 {
+	var n uint64
+	for src := range p.lanes {
+		for dst := range p.lanes[src] {
+			n += uint64(len(p.lanes[src][dst]))
+		}
+	}
+	return n
+}
+
+func TestGossipSingleReplicaActsAsCentral(t *testing.T) {
+	ts := threeRegions()
+	p := newTestPlane(t, Config{Replicas: 1}, gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+	run(p, 0, 5, 10*simclock.Second)
+	st := p.Stats()
+	if st.Sent != 0 {
+		t.Fatalf("single replica should not gossip: %+v", st)
+	}
+	if st.MaxDivergence != 0 || st.Pending != 0 {
+		t.Fatalf("single replica should converge instantly: %+v", st)
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	ts := threeRegions()
+	ok := gslb.Config{Policy: gslb.PolicyLeastLoad}
+	cases := []struct {
+		name string
+		cfg  Config
+		gcfg gslb.Config
+	}{
+		{"zero replicas", Config{}, ok},
+		{"loss out of range", Config{Replicas: 3, Loss: 1}, ok},
+		{"negative fanout", Config{Replicas: 3, Fanout: -1}, ok},
+		{"no policy", Config{Replicas: 3}, gslb.Config{}},
+		{"latency policy", Config{Replicas: 3}, gslb.Config{Policy: gslb.PolicyLatency}},
+		{"rtt matrix", Config{Replicas: 3}, gslb.Config{Policy: gslb.PolicyLeastLoad, RTT: map[string][]float64{"global": {1, 2, 3}}}},
+		{"bad weights", Config{Replicas: 3}, gslb.Config{Policy: gslb.PolicyStatic, Weights: []float64{1}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, tc.gcfg, ts.regions, 1, ts.sample); err == nil {
+			t.Errorf("%s: New accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestGossipDelayPostponesDelivery(t *testing.T) {
+	ts := threeRegions()
+	// Delay of 1.5 intervals: a push sent at round k is not due at round k+1
+	// (10 s later) and arrives at round k+2.
+	p := newTestPlane(t, Config{Replicas: 2, Delay: 15 * simclock.Second}, gslb.Config{Policy: gslb.PolicyLeastLoad}, ts)
+	step := 10 * simclock.Second
+	now := simclock.Time(0).Add(step)
+	p.ProbeTick(now)
+	p.GossipTick(now) // sends, nothing due yet
+	if got := p.Stats().Delivered; got != 0 {
+		t.Fatalf("delivered %d before the delay elapsed", got)
+	}
+	now = now.Add(step)
+	p.GossipTick(now) // due at now >= sentAt+15s? 20 >= 25 is false
+	if got := p.Stats().Delivered; got != 0 {
+		t.Fatalf("delivered %d one round early", got)
+	}
+	now = now.Add(step)
+	p.GossipTick(now) // 30 >= 25: delivered
+	if got := p.Stats().Delivered; got == 0 {
+		t.Fatalf("nothing delivered after the delay elapsed")
+	}
+}

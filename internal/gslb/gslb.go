@@ -150,7 +150,11 @@ func (c Config) LatencyAware() bool {
 	return c.Policy == PolicyLatency || len(c.RTT) > 0
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the configuration with every unset field replaced by
+// its documented default.  Health-plane consumers outside this package (the
+// gossip replicas) apply it once and then drive the probe state machine with
+// the resolved values.
+func (c Config) WithDefaults() Config {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 15 * simclock.Second
 	}
@@ -234,14 +238,85 @@ func (t Transition) String() string {
 	return fmt.Sprintf("t=%.0fs %s %s->%s", t.At.Seconds(), t.Region, t.From, t.To)
 }
 
-// regionHealth is the per-region probe state.
-type regionHealth struct {
-	state       HealthState
+// Health is the per-region probe state: the debounced state machine one
+// prober (the central Director, or the owning gossip replica) advances with
+// each telemetry sample.  The zero value is a Healthy region with zero
+// capacity; NewHealth starts the capacity at 1 (uniform until the first
+// probe), which is what both the Director and the gossip plane use.
+type Health struct {
+	// State is the region's position in the failover state machine.
+	State HealthState
+	// Capacity is the last probed service capacity (the least-load weight).
+	Capacity float64
+	// Streak counters and counter-delta baselines; only the prober that owns
+	// this Health mutates them, via Probe.
 	badStreak   int
 	goodStreak  int
 	prevServed  uint64
 	prevDropped uint64
-	capacity    float64 // last probed service capacity (least-load weight)
+}
+
+// NewHealth returns the pre-first-probe state: Healthy with capacity 1.
+func NewHealth() Health { return Health{Capacity: 1} }
+
+// Probe advances the state machine with one telemetry sample and returns the
+// states before and after (equal when nothing changed).  cfg must have
+// defaults applied (WithDefaults).  The capacity fraction is measured against
+// the region's initial active pool, served/dropped are cumulative counters
+// diffed against the previous probe, and negative deltas (a counter
+// regression through a fault path) clamp to zero rather than underflowing.
+func (h *Health) Probe(cfg Config, tel cloudsim.Telemetry) (from, to HealthState) {
+	from = h.State
+	h.Capacity = tel.Capacity
+
+	baseline := tel.BaselineActive
+	if baseline <= 0 {
+		baseline = 1
+	}
+	capFrac := float64(tel.ActiveVMs) / float64(baseline)
+	var dServed, dDropped uint64
+	if tel.Served >= h.prevServed {
+		dServed = tel.Served - h.prevServed
+	}
+	if tel.Dropped >= h.prevDropped {
+		dDropped = tel.Dropped - h.prevDropped
+	}
+	h.prevServed, h.prevDropped = tel.Served, tel.Dropped
+	errRate := 0.0
+	if total := dServed + dDropped; total > 0 {
+		errRate = float64(dDropped) / float64(total)
+	}
+	bad := capFrac < cfg.CapacityThreshold || errRate > cfg.ErrorThreshold
+
+	if bad {
+		h.goodStreak = 0
+		h.badStreak++
+	} else {
+		h.badStreak = 0
+		h.goodStreak++
+	}
+	next := h.State
+	if h.State.Serving() {
+		switch {
+		case h.badStreak >= cfg.UnhealthyAfter:
+			next = Drained
+		case h.badStreak > 0:
+			next = Degraded
+		default:
+			next = Healthy
+		}
+	} else {
+		switch {
+		case h.goodStreak >= cfg.HealthyAfter:
+			next = Healthy
+		case h.goodStreak > 0:
+			next = Recovering
+		default:
+			next = Drained
+		}
+	}
+	h.State = next
+	return from, next
 }
 
 // laneEstimate is the passive latency state of one (stream, region) lane:
@@ -268,7 +343,7 @@ type Director struct {
 	regions []string
 	streams []string
 	sample  func(i int) cloudsim.Telemetry
-	health  []regionHealth
+	health  []Health
 	lanes   [][]laneEstimate // [stream][region], nil unless latency-aware
 	pref    []int            // preference order as region indices
 	table   *Table
@@ -299,18 +374,57 @@ func NewDirector(cfg Config, regions, streams []string, sample func(i int) cloud
 	if err := validateConfig(cfg, regions, streams); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if len(streams) == 0 {
 		streams = []string{"default"}
 	}
+	pref, err := PreferenceOrder(cfg.Preference, regions)
+	if err != nil {
+		return nil, err
+	}
+	d := &Director{
+		cfg:     cfg,
+		regions: append([]string(nil), regions...),
+		streams: append([]string(nil), streams...),
+		sample:  sample,
+		health:  make([]Health, len(regions)),
+		pref:    pref,
+	}
+	for i := range d.health {
+		d.health[i] = NewHealth()
+	}
+	if cfg.LatencyAware() {
+		d.lanes = make([][]laneEstimate, len(streams))
+		for s, name := range d.streams {
+			d.lanes[s] = make([]laneEstimate, len(regions))
+			row := cfg.RTT[name]
+			for r := range d.lanes[s] {
+				seed := float64(defaultSeedMs)
+				if len(row) == len(regions) {
+					seed = row[r]
+				}
+				d.lanes[s][r].estMs = seed
+				d.lanes[s][r].quant = stats.NewP2Quantile(0.95)
+			}
+		}
+	}
+	d.table = d.buildTable()
+	return d, nil
+}
+
+// PreferenceOrder resolves a Config.Preference list into region indices:
+// named regions first, then every unlisted region as a last-resort backup in
+// deployment order.  An empty preference yields plain deployment order.
+// Unknown and duplicated names are rejected.
+func PreferenceOrder(preference, regions []string) ([]int, error) {
 	index := make(map[string]int, len(regions))
 	for i, r := range regions {
 		index[r] = i
 	}
 	pref := make([]int, 0, len(regions))
-	if len(cfg.Preference) > 0 {
+	if len(preference) > 0 {
 		seen := map[int]bool{}
-		for _, name := range cfg.Preference {
+		for _, name := range preference {
 			i, ok := index[name]
 			if !ok {
 				return nil, fmt.Errorf("gslb: preference names unknown region %q", name)
@@ -332,39 +446,17 @@ func NewDirector(cfg Config, regions, streams []string, sample func(i int) cloud
 			pref = append(pref, i)
 		}
 	}
-	d := &Director{
-		cfg:     cfg,
-		regions: append([]string(nil), regions...),
-		streams: append([]string(nil), streams...),
-		sample:  sample,
-		health:  make([]regionHealth, len(regions)),
-		pref:    pref,
-	}
-	for i := range d.health {
-		d.health[i].capacity = 1 // uniform until the first probe
-	}
-	if cfg.LatencyAware() {
-		d.lanes = make([][]laneEstimate, len(streams))
-		for s, name := range d.streams {
-			d.lanes[s] = make([]laneEstimate, len(regions))
-			row := cfg.RTT[name]
-			for r := range d.lanes[s] {
-				seed := float64(defaultSeedMs)
-				if len(row) == len(regions) {
-					seed = row[r]
-				}
-				d.lanes[s][r].estMs = seed
-				d.lanes[s][r].quant = stats.NewP2Quantile(0.95)
-			}
-		}
-	}
-	d.table = d.buildTable()
-	return d, nil
+	return pref, nil
 }
 
-// validateConfig rejects configurations the director cannot honour, with
-// errors that name the offending field.  It runs on the raw config, before
-// defaults are applied, so the threshold sentinels are still distinguishable.
+// Validate rejects configurations a director (central or replicated) cannot
+// honour, with errors that name the offending field.  It runs on the raw
+// config, before defaults are applied, so the threshold sentinels are still
+// distinguishable.
+func (c Config) Validate(regions, streams []string) error {
+	return validateConfig(c, regions, streams)
+}
+
 func validateConfig(cfg Config, regions, streams []string) error {
 	if len(cfg.Weights) > 0 {
 		if len(cfg.Weights) != len(regions) {
@@ -445,13 +537,13 @@ func (d *Director) Table() *Table { return d.table }
 func (d *Director) States() []HealthState {
 	out := make([]HealthState, len(d.health))
 	for i := range d.health {
-		out[i] = d.health[i].state
+		out[i] = d.health[i].State
 	}
 	return out
 }
 
 // State returns the health state of region i.
-func (d *Director) State(i int) HealthState { return d.health[i].state }
+func (d *Director) State(i int) HealthState { return d.health[i].State }
 
 // Transitions returns every health-state change so far, in probe order.
 func (d *Director) Transitions() []Transition { return append([]Transition(nil), d.trans...) }
@@ -516,64 +608,9 @@ func (d *Director) LatencyObservations(stream, region int) uint64 {
 func (d *Director) Tick(now simclock.Time) *Table {
 	d.probes++
 	for i := range d.health {
-		h := &d.health[i]
-		tel := d.sample(i)
-		h.capacity = tel.Capacity
-
-		baseline := tel.BaselineActive
-		if baseline <= 0 {
-			baseline = 1
-		}
-		capFrac := float64(tel.ActiveVMs) / float64(baseline)
-		// The telemetry counters are cumulative; a counter regression (a
-		// region restarting through a fault path) would underflow the uint64
-		// difference into an enormous delta and instantly trip the error
-		// threshold, so negative deltas clamp to zero and the probe resyncs
-		// on the regressed values.
-		var dServed, dDropped uint64
-		if tel.Served >= h.prevServed {
-			dServed = tel.Served - h.prevServed
-		}
-		if tel.Dropped >= h.prevDropped {
-			dDropped = tel.Dropped - h.prevDropped
-		}
-		h.prevServed, h.prevDropped = tel.Served, tel.Dropped
-		errRate := 0.0
-		if total := dServed + dDropped; total > 0 {
-			errRate = float64(dDropped) / float64(total)
-		}
-		bad := capFrac < d.cfg.CapacityThreshold || errRate > d.cfg.ErrorThreshold
-
-		if bad {
-			h.goodStreak = 0
-			h.badStreak++
-		} else {
-			h.badStreak = 0
-			h.goodStreak++
-		}
-		next := h.state
-		if h.state.Serving() {
-			switch {
-			case h.badStreak >= d.cfg.UnhealthyAfter:
-				next = Drained
-			case h.badStreak > 0:
-				next = Degraded
-			default:
-				next = Healthy
-			}
-		} else {
-			switch {
-			case h.goodStreak >= d.cfg.HealthyAfter:
-				next = Healthy
-			case h.goodStreak > 0:
-				next = Recovering
-			default:
-				next = Drained
-			}
-		}
-		if next != h.state {
-			d.trans = append(d.trans, Transition{At: now, Region: d.regions[i], From: h.state, To: next})
-			h.state = next
+		from, to := d.health[i].Probe(d.cfg, d.sample(i))
+		if from != to {
+			d.trans = append(d.trans, Transition{At: now, Region: d.regions[i], From: from, To: to})
 		}
 	}
 	d.foldLatency()
@@ -599,28 +636,41 @@ func (d *Director) foldLatency() {
 	}
 }
 
-// buildTable derives the immutable routing snapshot from the current health
-// states, probe capacities and latency estimates.
-func (d *Director) buildTable() *Table {
-	serving := make([]int, 0, len(d.regions))
-	for _, i := range d.pref {
-		if d.health[i].state.Serving() {
+// servingList returns the serving region indices in preference order.  When
+// every region is drained, routing somewhere beats routing nowhere, so it
+// falls back to the full preference order (the requests surface as
+// drops/errors at the regions, which is the honest outcome).
+func servingList(pref []int, health []Health) []int {
+	serving := make([]int, 0, len(pref))
+	for _, i := range pref {
+		if health[i].State.Serving() {
 			serving = append(serving, i)
 		}
 	}
 	if len(serving) == 0 {
-		// Every region is drained: routing somewhere beats routing nowhere,
-		// so fall back to the full preference order (the requests surface as
-		// drops/errors at the regions, which is the honest outcome).
-		serving = append(serving, d.pref...)
+		serving = append(serving, pref...)
 	}
-	t := &Table{mode: d.cfg.Policy, eligible: serving}
-	switch d.cfg.Policy {
+	return serving
+}
+
+// BuildTable derives an immutable routing snapshot from a preference order
+// (PreferenceOrder) and per-region health, for the static, round-robin,
+// least-load and failover policies.  cfg must have defaults applied.  The
+// latency policy additionally needs per-lane estimates and is built by the
+// Director only; BuildTable panics on it so a replicated caller cannot
+// silently route without estimates.
+func BuildTable(cfg Config, pref []int, health []Health) *Table {
+	if cfg.Policy == PolicyLatency {
+		panic("gslb: BuildTable cannot build the latency policy (Director-only)")
+	}
+	serving := servingList(pref, health)
+	t := &Table{mode: cfg.Policy, eligible: serving}
+	switch cfg.Policy {
 	case PolicyStatic:
 		t.weights = make([]float64, len(serving))
 		for j, i := range serving {
-			if len(d.cfg.Weights) == len(d.regions) {
-				t.weights[j] = d.cfg.Weights[i]
+			if len(cfg.Weights) == len(health) {
+				t.weights[j] = cfg.Weights[i]
 			} else {
 				t.weights[j] = 1
 			}
@@ -629,23 +679,33 @@ func (d *Director) buildTable() *Table {
 	case PolicyLeastLoad:
 		t.weights = make([]float64, len(serving))
 		for j, i := range serving {
-			t.weights[j] = d.health[i].capacity
+			t.weights[j] = health[i].Capacity
 		}
 		normalizeWeights(t.weights)
-	case PolicyLatency:
-		t.rows = make([][]float64, len(d.lanes))
-		for s := range d.lanes {
-			row := make([]float64, len(serving))
-			for j, i := range serving {
-				est := d.lanes[s][i].estMs
-				if est < latFloorMs {
-					est = latFloorMs
-				}
-				row[j] = d.health[i].capacity / math.Pow(est, d.cfg.LatencyExponent)
+	}
+	return t
+}
+
+// buildTable derives the immutable routing snapshot from the current health
+// states, probe capacities and latency estimates.
+func (d *Director) buildTable() *Table {
+	if d.cfg.Policy != PolicyLatency {
+		return BuildTable(d.cfg, d.pref, d.health)
+	}
+	serving := servingList(d.pref, d.health)
+	t := &Table{mode: d.cfg.Policy, eligible: serving}
+	t.rows = make([][]float64, len(d.lanes))
+	for s := range d.lanes {
+		row := make([]float64, len(serving))
+		for j, i := range serving {
+			est := d.lanes[s][i].estMs
+			if est < latFloorMs {
+				est = latFloorMs
 			}
-			normalizeWeights(row)
-			t.rows[s] = row
+			row[j] = d.health[i].Capacity / math.Pow(est, d.cfg.LatencyExponent)
 		}
+		normalizeWeights(row)
+		t.rows[s] = row
 	}
 	return t
 }
