@@ -7,8 +7,9 @@
 #   make bench-smoke # one cheap iteration of the Figure 3 benchmarks
 #   make bench-json  # record BENCH_ci.json and gate it against BENCH_baseline.json
 #   make lint        # golangci-lint (falls back to go vet when not installed)
-#   make docs        # regenerate docs/SCENARIOS.md from the scenario registry
+#   make docs        # regenerate docs/SCENARIOS.md + docs/METRICS.md from the registries
 #   make docs-check  # fail when generated docs are stale or links are dead
+#   make metrics-lint # enforce Prometheus naming conventions on every family
 
 GO ?= go
 
@@ -18,9 +19,9 @@ GO ?= go
 # CI can never record different benchmark sets.
 BENCH_GATE = $(GO) test -bench='RegionSharded|Figure3|GlobalDirector|GlobalLatency|CohortPopulation|Megaclients' -benchtime=1x -benchmem -run='^$$' .
 
-.PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline docs docs-check
+.PHONY: check fmt vet lint build test test-repeat race bench bench-smoke bench-json bench-baseline docs docs-check metrics-lint
 
-check: fmt vet lint build race test-repeat bench-json docs-check
+check: fmt vet lint build race test-repeat bench-json metrics-lint docs-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -78,14 +79,23 @@ bench-baseline:
 	cat BENCH_raw.txt
 	$(GO) run ./cmd/benchjson parse -in BENCH_raw.txt -out BENCH_baseline.json
 
-# docs/SCENARIOS.md is generated from the scenario registry; the committed
-# copy is kept honest by TestScenariosDocCurrent (and the CI docs job), which
-# fail with "run make docs" whenever the registry and the document diverge.
+# docs/SCENARIOS.md and docs/METRICS.md are generated from the scenario and
+# instrument registries; the committed copies are kept honest by
+# TestScenariosDocCurrent and TestMetricsDocCurrent (and the CI docs job),
+# which fail with "run make docs" whenever a registry and its document
+# diverge.
 docs:
 	$(GO) run ./cmd/acmsim -list-scenarios -markdown > docs/SCENARIOS.md
+	$(GO) run ./cmd/acmsim -list-metrics > docs/METRICS.md
 
-# docs-check is what the CI docs job runs: the staleness test for generated
+# docs-check is what the CI docs job runs: the staleness tests for generated
 # docs plus the relative-link checker over every tracked markdown document.
 docs-check:
-	$(GO) test ./internal/experiment/ -run 'TestScenariosDoc|TestScenariosMarkdown'
+	$(GO) test ./internal/experiment/ -run 'TestScenariosDoc|TestScenariosMarkdown|TestMetricsDoc|TestMetricsMarkdown'
 	$(GO) run ./cmd/mdcheck README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md
+
+# metrics-lint walks every instrument family a deployment can register and
+# enforces the Prometheus naming conventions (valid names, counters ending in
+# _total, HELP and source attribution present).
+metrics-lint:
+	$(GO) test ./internal/experiment/ -run TestMetricNamesLint

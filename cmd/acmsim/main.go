@@ -11,8 +11,10 @@
 //	acmsim -regions 1,3 -clients 200,200 -policy uniform -csv run.csv
 //	acmsim -scenario figure4 -policy policy2       # run a registered scenario
 //	acmsim -scenario global-failover -gslb-policy leastload   # swap the GSLB policy
+//	acmsim -scenario global-gossip -metrics-addr :9090   # live /metrics endpoint
 //	acmsim -list-scenarios                         # list the registry
 //	acmsim -list-scenarios -markdown               # emit docs/SCENARIOS.md
+//	acmsim -list-metrics                           # emit docs/METRICS.md
 //	acmsim -dump-config scenario.json      # write the assembled scenario
 //	acmsim -config scenario.json           # run a scenario from a JSON file
 //	acmsim -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
@@ -23,14 +25,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/acm"
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/cloudsim"
 	"repro/internal/experiment"
 	"repro/internal/gslb"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -38,40 +45,34 @@ import (
 
 func main() {
 	var (
-		regions   = flag.String("regions", "1,3", "comma-separated paper regions to deploy (1, 2, 3)")
-		clients   = flag.String("clients", "320,128", "comma-separated client counts, one per region")
-		cohorts   = flag.String("cohort-clients", "", "comma-separated cohort-compressed client counts, one per region (10^6-scale populations batched per tick; empty = none)")
-		tracerFr  = flag.Float64("tracer-fraction", -1, "fraction of every cohort simulated as individual browsers feeding the latency series, in [0, 1] (-1 keeps each scenario's own setting; default 1%)")
-		policy    = flag.String("policy", "policy2", "load-balancing policy: policy1, policy2, policy3, uniform")
-		predictor = flag.String("predictor", "oracle", "RTTF predictor: oracle or ml")
-		hours     = flag.Float64("hours", 2, "simulated hours")
-		seed      = flag.Uint64("seed", 1, "deterministic simulation seed")
-		beta      = flag.Float64("beta", 0.5, "RMTTF smoothing factor of equation (1)")
-		interval  = flag.Float64("interval", 60, "control loop interval in seconds")
-		shards    = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
-		tickWork  = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
-		eventWork = flag.Int("event-workers", -1, "run the sharded event loop with this many shard-loop goroutines (0 forces the serial engine, >= 1 selects the parallel event loop; byte-identical across all values >= 1; -1 keeps each scenario's own setting)")
-		gslbPol   = flag.String("gslb-policy", "", "global-traffic-director routing policy: static, rr, leastload, failover or latency (overrides the scenario's own setting; GSLB deployments always run on the event loop)")
-		rttSpec   = flag.String("rtt", "", "per-stream round-trip matrix for latency-aware routing, milliseconds per deployed region: \"global=60,120;americas=80,140\" (overrides the scenario's own RTT rows)")
-		mix       = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
-		csvPath   = flag.String("csv", "", "write all recorded series to this CSV file")
-		config    = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
-		scenario  = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
-		list      = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
-		markdown  = flag.Bool("markdown", false, "with -list-scenarios: print the full scenario catalogue as markdown (the source of docs/SCENARIOS.md; see `make docs`)")
-		dumpPath  = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
-
-		// Matrix-sweep mode (experiment.Matrix): mutually exclusive with the
-		// single-run flags above.
-		scenarios = flag.String("scenarios", "", "comma-separated registered scenarios: run the sweep matrix scenarios x policies x betas x reps instead of a single deployment")
-		policies  = flag.String("policies", "", "comma-separated policy keys for the sweep (the paper's three policies when empty)")
-		betas     = flag.String("betas", "", "comma-separated beta overrides for the sweep (each scenario's own beta when empty)")
-		reps      = flag.Int("reps", 1, "independent replications per sweep cell (seeds derived per replication)")
-		workers   = flag.Int("workers", 0, "parallel sweep workers (GOMAXPROCS when 0)")
-		sweepCSV  = flag.String("sweep-csv", "", "write the sweep summary rows as CSV to this file")
-		sweepJSON = flag.String("sweep-json", "", "write the sweep summary rows as JSON to this file")
-		journal   = flag.String("journal", "", "checkpoint completed sweep jobs to this file; re-running with the same matrix resumes from the missing jobs only")
+		regions     = flag.String("regions", "1,3", "comma-separated paper regions to deploy (1, 2, 3)")
+		clients     = flag.String("clients", "320,128", "comma-separated client counts, one per region")
+		cohorts     = flag.String("cohort-clients", "", "comma-separated cohort-compressed client counts, one per region (10^6-scale populations batched per tick; empty = none)")
+		tracerFr    = flag.Float64("tracer-fraction", -1, "fraction of every cohort simulated as individual browsers feeding the latency series, in [0, 1] (-1 keeps each scenario's own setting; default 1%)")
+		policy      = flag.String("policy", "policy2", "load-balancing policy: policy1, policy2, policy3, uniform")
+		predictor   = flag.String("predictor", "oracle", "RTTF predictor: oracle or ml")
+		hours       = flag.Float64("hours", 2, "simulated hours")
+		seed        = flag.Uint64("seed", 1, "deterministic simulation seed")
+		beta        = flag.Float64("beta", 0.5, "RMTTF smoothing factor of equation (1)")
+		interval    = flag.Float64("interval", 60, "control loop interval in seconds")
+		shards      = flag.Int("shards", 0, "split every region's VM pool across this many engine shards (0 keeps each scenario's own setting)")
+		tickWork    = flag.Int("tick-workers", 0, "fan the per-shard control-tick phase out to this many goroutines, capped at the shard count (1 = sequential, 0 keeps each scenario's own setting)")
+		eventWork   = flag.Int("event-workers", -1, "run the sharded event loop with this many shard-loop goroutines (0 forces the serial engine, >= 1 selects the parallel event loop; byte-identical across all values >= 1; -1 keeps each scenario's own setting)")
+		gslbPol     = flag.String("gslb-policy", "", "global-traffic-director routing policy: static, rr, leastload, failover or latency (overrides the scenario's own setting; GSLB deployments always run on the event loop)")
+		rttSpec     = flag.String("rtt", "", "per-stream round-trip matrix for latency-aware routing, milliseconds per deployed region: \"global=60,120;americas=80,140\" (overrides the scenario's own RTT rows)")
+		mix         = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
+		csvPath     = flag.String("csv", "", "write all recorded series to this CSV file")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live instrument registry in Prometheus text format at /metrics on this address (e.g. :9090) while the run executes")
+		config      = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
+		scenario    = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
+		list        = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		markdown    = flag.Bool("markdown", false, "with -list-scenarios: print the full scenario catalogue as markdown (the source of docs/SCENARIOS.md; see `make docs`)")
+		listMetrics = flag.Bool("list-metrics", false, "print the instrument catalogue as markdown (the source of docs/METRICS.md; see `make docs`) and exit")
+		dumpPath    = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
 	)
+	// Matrix-sweep mode (experiment.Matrix): mutually exclusive with the
+	// single-run flags above.  The flag set is shared with cmd/figures.
+	sweep := cli.RegisterSweepFlags(flag.CommandLine, 0, "parallel sweep workers (GOMAXPROCS when 0)")
 	flag.Parse()
 
 	if *list {
@@ -96,6 +97,15 @@ func main() {
 		}
 		return
 	}
+	if *listMetrics {
+		md, err := experiment.MetricsMarkdown()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(md)
+		return
+	}
 
 	// Track which flags the user actually set, so a registered scenario keeps
 	// its own horizon/beta/interval/predictor unless explicitly overridden.
@@ -107,32 +117,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *scenarios != "" {
+	if sweep.Active() {
 		// The sweep defines its own deployments and output; a single-run
 		// flag alongside -scenarios would be silently ignored, so reject it.
 		for _, f := range []string{"scenario", "config", "dump-config", "regions", "clients", "mix",
 			"cohort-clients", "tracer-fraction",
 			"policy", "predictor", "beta", "interval", "shards", "tick-workers", "event-workers",
-			"gslb-policy", "rtt", "csv"} {
+			"gslb-policy", "rtt", "csv", "metrics-addr"} {
 			if explicit[f] {
 				fmt.Fprintf(os.Stderr, "acmsim: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
 				os.Exit(1)
 			}
 		}
-		if err := runMatrix(*scenarios, *policies, *betas, *reps, *workers, *seed, *hours, *sweepCSV, *sweepJSON, *journal, explicit); err != nil {
+		if err := runMatrix(sweep, *seed, *hours, explicit); err != nil {
 			fmt.Fprintln(os.Stderr, "acmsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	for _, f := range []string{"sweep-csv", "sweep-json", "journal", "betas", "reps", "policies", "workers"} {
+	for _, f := range cli.SweepOnlyFlagNames(true) {
 		if explicit[f] {
 			fmt.Fprintf(os.Stderr, "acmsim: -%s only applies to sweeps; pass -scenarios to run one\n", f)
 			os.Exit(1)
 		}
 	}
 
-	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *rttSpec, *csvPath, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *rttSpec, *csvPath, *metricsAddr, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
@@ -141,30 +151,19 @@ func main() {
 // runMatrix expands and executes a sweep on the shared pipeline
 // (experiment.RunSweep), printing the summary table and optionally writing
 // CSV/JSON rows, with journal-based checkpoint/resume.
-func runMatrix(scenarioList, policyList, betaList string, reps, workers int, seed uint64, hours float64, sweepCSV, sweepJSON, journalPath string, explicit map[string]bool) error {
-	m := experiment.Matrix{
-		Scenarios:    experiment.ParseList(scenarioList),
-		Policies:     experiment.ParseList(policyList),
-		Replications: reps,
-		BaseSeed:     seed,
-	}
-	if betaList != "" {
-		bs, err := experiment.ParseFloatList(betaList)
-		if err != nil {
-			return err
-		}
-		m.Betas = bs
+func runMatrix(sweep *cli.SweepFlags, seed uint64, hours float64, explicit map[string]bool) error {
+	m, err := sweep.Matrix(seed)
+	if err != nil {
+		return err
 	}
 	if explicit["hours"] {
 		m.Horizon = simclock.Duration(hours) * simclock.Hour
 	}
-	opt := experiment.Options{Workers: workers}
-
-	fmt.Printf("sweep: %d jobs (%d scenarios x policies x betas x %d reps)\n", m.Size(), len(m.Scenarios), max(reps, 1))
-	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
+	fmt.Printf("sweep: %d jobs (%d scenarios x policies x betas x %d reps)\n", m.Size(), len(m.Scenarios), max(*sweep.Reps, 1))
+	return experiment.RunSweepAndEmit(context.Background(), m, sweep.Options(), *sweep.Journal, *sweep.CSV, *sweep.JSON, os.Stdout)
 }
 
-func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, rttSpec, csvPath, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, rttSpec, csvPath, metricsAddr, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -328,7 +327,7 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 	// regardless of routing policy, so the policies can be compared on the
 	// same network.
 	if rttSpec != "" {
-		rtt, err := parseRTT(rttSpec, len(scenario.Regions))
+		rtt, err := cli.ParseRTT(rttSpec, len(scenario.Regions))
 		if err != nil {
 			return err
 		}
@@ -345,9 +344,25 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 		return nil
 	}
 
-	mgr, err := experiment.NewManager(scenario, np)
+	b, err := experiment.NewBackend(scenario, np)
 	if err != nil {
 		return err
+	}
+
+	// -metrics-addr: serve the live registry for the duration of the run.
+	// The registry is updated at every control-era barrier, so a scrape
+	// mid-run sees the last completed era's merged state.
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(b.Registry()))
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving Prometheus metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	if eff := scenario.EffectiveClients(); eff != scenario.TotalClients() {
@@ -357,62 +372,23 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 		fmt.Printf("deploying %d regions, %d clients, policy %s, predictor %s, %.1f simulated hours\n",
 			len(scenario.Regions), scenario.TotalClients(), np.Label, scenario.Predictor, scenario.Horizon.Seconds()/3600)
 	}
-	if err := mgr.Run(scenario.Horizon); err != nil {
+	if err := b.Run(scenario.Horizon); err != nil {
 		return err
 	}
 
-	printReport(mgr)
+	printReport(b)
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := mgr.Recorder().WriteAllCSV(f); err != nil {
+		if err := b.Recorder().WriteAllCSV(f); err != nil {
 			return err
 		}
 		fmt.Println("wrote series to", csvPath)
 	}
 	return nil
-}
-
-// parseRTT turns "global=60,120;americas=80,140" into the per-stream
-// round-trip matrix, one millisecond entry per deployed region in deployment
-// order.  Row lengths are checked here so a mismatch names the stream instead
-// of surfacing as a generic gslb validation error.
-func parseRTT(spec string, regions int) (map[string][]float64, error) {
-	rtt := map[string][]float64{}
-	for _, rowSpec := range strings.Split(spec, ";") {
-		rowSpec = strings.TrimSpace(rowSpec)
-		if rowSpec == "" {
-			continue
-		}
-		stream, list, ok := strings.Cut(rowSpec, "=")
-		stream = strings.TrimSpace(stream)
-		if !ok || stream == "" {
-			return nil, fmt.Errorf("-rtt: row %q is not stream=ms1,ms2,...", rowSpec)
-		}
-		if _, dup := rtt[stream]; dup {
-			return nil, fmt.Errorf("-rtt: stream %q listed twice", stream)
-		}
-		entries := strings.Split(list, ",")
-		if len(entries) != regions {
-			return nil, fmt.Errorf("-rtt: stream %q has %d entries, want one per deployed region (%d)", stream, len(entries), regions)
-		}
-		row := make([]float64, len(entries))
-		for i, e := range entries {
-			ms, err := strconv.ParseFloat(strings.TrimSpace(e), 64)
-			if err != nil {
-				return nil, fmt.Errorf("-rtt: stream %q entry %d: %v", stream, i, err)
-			}
-			row[i] = ms
-		}
-		rtt[stream] = row
-	}
-	if len(rtt) == 0 {
-		return nil, fmt.Errorf("-rtt: no rows in %q", spec)
-	}
-	return rtt, nil
 }
 
 // parseRegions turns "1,3" + "320,128" (and an optional "-cohort-clients"
@@ -469,8 +445,12 @@ func parseRegions(regionSpec, clientSpec, cohortSpec, mixName string) ([]acm.Reg
 }
 
 // printReport prints the end-of-run state: figures, metrics and counters.
-func printReport(mgr *acm.Manager) {
-	rec := mgr.Recorder()
+// Everything it reads comes through the backend seam — the recorder, the
+// client metrics and the Results snapshot — so a future live backend gets
+// the same report for free.
+func printReport(b backend.Backend) {
+	rec := b.Recorder()
+	final := b.Results()
 	fmt.Println()
 	fmt.Print(trace.ASCIIPlot(rec.Set("rmttf"), trace.PlotOptions{Title: "RMTTF per region (s)", Height: 12}))
 	fmt.Print(trace.ASCIIPlot(rec.Set("fraction"), trace.PlotOptions{Title: "workload fraction f_i", Height: 12}))
@@ -481,69 +461,67 @@ func printReport(mgr *acm.Manager) {
 	fmt.Print(trace.SummaryTable(rec.Set("fraction"), 0.4))
 	fmt.Println()
 
-	fmt.Println("client metrics:", mgr.Metrics())
+	fmt.Println("client metrics:", b.Metrics())
 	fmt.Printf("control eras: %d, controller messages: %d, forwarded requests: %d (%.1f%% of total)\n",
-		mgr.Eras(), mgr.ControlMessages(), mgr.ForwardedRequests(),
-		100*float64(mgr.ForwardedRequests())/float64(mgr.ForwardedRequests()+mgr.LocalRequests()+1))
-	leader, _ := mgr.Cluster().GlobalLeader()
-	fmt.Printf("leader VMC: %s (elections run: %d)\n", leader, mgr.Cluster().Elections())
+		final.Eras, final.ControlMessages, final.ForwardedRequests,
+		100*float64(final.ForwardedRequests)/float64(final.ForwardedRequests+final.LocalRequests+1))
+	fmt.Printf("leader VMC: %s (elections run: %d)\n", final.Leader, final.Elections)
 	fmt.Println()
 	fmt.Println("per-region state:")
-	for _, s := range mgr.RegionStats() {
+	for _, s := range final.RegionStats {
 		fmt.Println("  ", s)
 	}
 	fmt.Println("per-region controller counters:")
-	for name, s := range mgr.VMCStats() {
+	for name, s := range final.VMCStats {
 		fmt.Printf("   %s: proactive=%d reactive=%d activations=%d provisioned=%d\n",
 			name, s.ProactiveRejuvenations, s.ReactiveRecoveries, s.Activations, s.ProvisionedVMs)
 	}
-	if shardStats := mgr.ShardStats(); len(shardStats) > 0 {
+	if len(final.ShardStats) > 0 {
 		fmt.Println("per-shard state (sharded regions):")
-		for _, name := range mgr.RegionNames() {
-			for _, s := range shardStats[name] {
+		for _, name := range final.RegionNames {
+			for _, s := range final.ShardStats[name] {
 				fmt.Println("  ", s)
 			}
 		}
 	}
-	if d := mgr.Director(); d != nil {
-		fmt.Printf("global traffic director: policy=%s probes=%d\n", d.Config().Policy, d.Probes())
-		routed := mgr.GSLBRouted()
-		states := d.States()
-		for i, name := range mgr.RegionNames() {
-			fmt.Printf("   %s: routed=%d health=%s\n", name, routed[name], states[i])
+	g := final.GSLB
+	if g == nil {
+		return
+	}
+	if !g.Replicated {
+		fmt.Printf("global traffic director: policy=%s probes=%d\n", g.Policy, g.Probes)
+		for i, name := range final.RegionNames {
+			fmt.Printf("   %s: routed=%d health=%s\n", name, g.Routed[name], g.States[i])
 		}
-		if trans := mgr.GSLBTransitions(); len(trans) > 0 {
+		if len(g.Transitions) > 0 {
 			fmt.Println("   health transitions:")
-			for _, t := range trans {
+			for _, t := range g.Transitions {
 				fmt.Println("    ", t)
 			}
 		}
-		if ewma, p95 := mgr.GSLBLatencyEstimates(); ewma != nil {
+		if g.LatencyEWMA != nil {
 			fmt.Println("   learned round trips (ms, EWMA / p95):")
-			for _, sname := range d.Streams() {
-				for _, rname := range mgr.RegionNames() {
+			for _, sname := range g.Streams {
+				for _, rname := range final.RegionNames {
 					key := sname + ":" + rname
-					fmt.Printf("    %s: %.1f / %.1f\n", key, ewma[key], p95[key])
+					fmt.Printf("    %s: %.1f / %.1f\n", key, g.LatencyEWMA[key], g.LatencyP95[key])
 				}
 			}
 		}
+		return
 	}
-	if p := mgr.GossipPlane(); p != nil {
-		st := mgr.GossipStats()
-		fmt.Printf("gossip health plane: %d replicas, policy=%s, %d rounds (sent=%d delivered=%d dropped=%d)\n",
-			st.Replicas, p.GSLBConfig().Policy, st.Rounds, st.Sent, st.Delivered, st.Dropped)
-		fmt.Printf("   convergence: %d updates settled, mean lag %.1fs, final divergence %d, pending %d\n",
-			st.Converged, st.MeanLagSeconds, st.MaxDivergence, st.Pending)
-		routed := mgr.GSLBRouted()
-		states := p.OwnerStates()
-		for i, name := range mgr.RegionNames() {
-			fmt.Printf("   %s: routed=%d owner-health=%s\n", name, routed[name], states[i])
-		}
-		if trans := mgr.GSLBTransitions(); len(trans) > 0 {
-			fmt.Println("   health transitions (owner views):")
-			for _, t := range trans {
-				fmt.Println("    ", t)
-			}
+	st := final.Gossip
+	fmt.Printf("gossip health plane: %d replicas, policy=%s, %d rounds (sent=%d delivered=%d dropped=%d)\n",
+		st.Replicas, g.Policy, st.Rounds, st.Sent, st.Delivered, st.Dropped)
+	fmt.Printf("   convergence: %d updates settled, mean lag %.1fs, final divergence %d, pending %d\n",
+		st.Converged, st.MeanLagSeconds, st.MaxDivergence, st.Pending)
+	for i, name := range final.RegionNames {
+		fmt.Printf("   %s: routed=%d owner-health=%s\n", name, g.Routed[name], g.States[i])
+	}
+	if len(g.Transitions) > 0 {
+		fmt.Println("   health transitions (owner views):")
+		for _, t := range g.Transitions {
+			fmt.Println("    ", t)
 		}
 	}
 }

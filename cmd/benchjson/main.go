@@ -253,6 +253,11 @@ func runCompare(args []string) error {
 		return err
 	}
 	baseline, err := Load(*basePath)
+	if os.IsNotExist(err) {
+		// A missing baseline is the one setup error every new checkout hits;
+		// point straight at the recording procedure instead of a bare ENOENT.
+		return fmt.Errorf("baseline %s missing — run `make bench-baseline` to record it, then commit the file (procedure in the README)", *basePath)
+	}
 	if err != nil {
 		return err
 	}

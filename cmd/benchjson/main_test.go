@@ -182,3 +182,17 @@ func TestCompareAnnotatesDeltaPct(t *testing.T) {
 		t.Fatalf("delta_pct lost in round trip: %+v", back.DeltaPct)
 	}
 }
+
+// TestCompareMissingBaselinePointsAtProcedure: a missing baseline file must
+// produce the recording instruction, not a bare file-not-found.
+func TestCompareMissingBaselinePointsAtProcedure(t *testing.T) {
+	err := runCompare([]string{"-baseline", "testdata-does-not-exist/BENCH_baseline.json"})
+	if err == nil {
+		t.Fatal("expected an error for a missing baseline")
+	}
+	for _, want := range []string{"baseline", "missing", "make bench-baseline"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}

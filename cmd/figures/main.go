@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -47,23 +48,18 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write the raw time series as CSV files")
 		cohorts  = flag.Int("cohort-clients", 0, "add this many cohort-compressed clients to every region of the figure scenario (0 = none; see the megaclients scenarios for 10^6-scale runs)")
 		tracerFr = flag.Float64("tracer-fraction", -1, "fraction of every cohort simulated as individual browsers feeding the latency series, in [0, 1] (-1 keeps the default 1%)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any worker count)")
-
-		// Matrix-sweep mode (experiment.Matrix).
-		scenarios = flag.String("scenarios", "", "comma-separated registered scenarios: run the sweep matrix scenarios x policies x betas x reps")
-		policies  = flag.String("policies", "", "comma-separated policy keys for the sweep (the paper's three when empty)")
-		betas     = flag.String("betas", "", "comma-separated beta overrides for the sweep (each scenario's own beta when empty)")
-		reps      = flag.Int("reps", 1, "independent replications per sweep cell (seeds derived per replication)")
-		sweepCSV  = flag.String("sweep-csv", "", "write the sweep summary rows as CSV to this file")
-		sweepJSON = flag.String("sweep-json", "", "write the sweep summary rows as JSON to this file")
-		journal   = flag.String("journal", "", "checkpoint completed sweep jobs to this file; re-running with the same matrix resumes from the missing jobs only")
 	)
+	// Matrix-sweep mode (experiment.Matrix); the flag set is shared with
+	// cmd/acmsim.  -workers also drives the non-sweep figure runs here.
+	sweep := cli.RegisterSweepFlags(flag.CommandLine,
+		runtime.GOMAXPROCS(0), "parallel simulation workers (results are identical for any worker count)")
+	workers := sweep.Workers
 	flag.Parse()
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	if *scenarios != "" {
+	if sweep.Active() {
 		// The sweep defines its own scenarios and output; a figure/ablation
 		// flag alongside -scenarios would be silently ignored, so reject it.
 		for _, f := range []string{"figure", "ablation", "summary", "csv", "policy", "cohort-clients", "tracer-fraction"} {
@@ -72,13 +68,13 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if err := runMatrix(*scenarios, *policies, *betas, *reps, *workers, *seed, *horizon, *sweepCSV, *sweepJSON, *journal); err != nil {
+		if err := runMatrix(sweep, *seed, *horizon); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	for _, f := range []string{"sweep-csv", "sweep-json", "journal", "betas", "reps", "policies"} {
+	for _, f := range cli.SweepOnlyFlagNames(false) {
 		if explicit[f] {
 			fmt.Fprintf(os.Stderr, "figures: -%s only applies to sweeps; pass -scenarios to run one\n", f)
 			os.Exit(1)
@@ -102,25 +98,16 @@ func main() {
 // runMatrix executes a sweep over registered scenarios on the shared
 // pipeline (experiment.RunSweep), with checkpointed resume and CSV/JSON row
 // output.
-func runMatrix(scenarioList, policyList, betaList string, reps, workers int, seed uint64, horizonHours float64, sweepCSV, sweepJSON, journalPath string) error {
-	m := experiment.Matrix{
-		Scenarios:    experiment.ParseList(scenarioList),
-		Policies:     experiment.ParseList(policyList),
-		Replications: reps,
-		BaseSeed:     seed,
-		Horizon:      simclock.Duration(horizonHours) * simclock.Hour,
+func runMatrix(sweep *cli.SweepFlags, seed uint64, horizonHours float64) error {
+	m, err := sweep.Matrix(seed)
+	if err != nil {
+		return err
 	}
-	if betaList != "" {
-		bs, err := experiment.ParseFloatList(betaList)
-		if err != nil {
-			return err
-		}
-		m.Betas = bs
-	}
-	opt := experiment.Options{Workers: workers}
+	m.Horizon = simclock.Duration(horizonHours) * simclock.Hour
+	opt := sweep.Options()
 
 	fmt.Printf("sweep: %d jobs (%d workers)\n", m.Size(), opt.Workers)
-	return experiment.RunSweepAndEmit(context.Background(), m, opt, journalPath, sweepCSV, sweepJSON, os.Stdout)
+	return experiment.RunSweepAndEmit(context.Background(), m, opt, *sweep.Journal, *sweep.CSV, *sweep.JSON, os.Stdout)
 }
 
 func run(figure int, policy string, summary bool, ablation string, seed uint64, horizonHours float64, csvDir string, cohortClients int, tracerFraction float64, tracerSet bool, workers int) error {

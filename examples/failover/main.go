@@ -21,6 +21,7 @@ import (
 	"log"
 
 	"repro/internal/acm"
+	"repro/internal/backend"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/simclock"
@@ -37,10 +38,14 @@ func main() {
 		Policy:          core.AvailableResources{},
 		ControlInterval: 60 * simclock.Second,
 	}
-	mgr, err := acm.NewManager(cfg)
+	// Fault injection and engine scheduling are simulator-specific surfaces,
+	// so this example constructs through the backend seam and unwraps: a live
+	// backend would have no counterpart for InjectLinkFailure.
+	b, err := backend.NewSimulated(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	mgr := b.Manager()
 
 	initialLeader, _ := mgr.Cluster().GlobalLeader()
 	fmt.Println("initial leader VMC:", initialLeader)
@@ -75,20 +80,20 @@ func main() {
 		fmt.Printf("  [t=36min] leader after recovery: %s\n", leader)
 	})
 
-	if err := mgr.Run(1 * simclock.Hour); err != nil {
+	if err := b.Run(1 * simclock.Hour); err != nil {
 		log.Fatal(err)
 	}
 
+	final := b.Results()
 	fmt.Println()
 	fmt.Println("run completed despite the injected failures:")
-	fmt.Println("  client metrics:        ", mgr.Metrics())
-	fmt.Println("  control eras executed: ", mgr.Eras())
-	fmt.Println("  elections run:         ", mgr.Cluster().Elections())
-	finalLeader, _ := mgr.Cluster().GlobalLeader()
-	fmt.Println("  final leader:          ", finalLeader)
-	for name, s := range mgr.VMCStats() {
+	fmt.Println("  client metrics:        ", b.Metrics())
+	fmt.Println("  control eras executed: ", final.Eras)
+	fmt.Println("  elections run:         ", final.Elections)
+	fmt.Println("  final leader:          ", final.Leader)
+	for name, s := range final.VMCStats {
 		fmt.Printf("  %s: proactive rejuvenations=%d reactive recoveries=%d activations=%d\n",
 			name, s.ProactiveRejuvenations, s.ReactiveRecoveries, s.Activations)
 	}
-	fmt.Printf("  mean response time: %.0f ms (SLA: 1000 ms)\n", 1000*mgr.Metrics().MeanResponseTime(""))
+	fmt.Printf("  mean response time: %.0f ms (SLA: 1000 ms)\n", 1000*b.Metrics().MeanResponseTime(""))
 }

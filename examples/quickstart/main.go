@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"repro/internal/acm"
+	"repro/internal/backend"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/simclock"
@@ -35,27 +36,29 @@ func main() {
 		ControlInterval: 60 * simclock.Second,
 	}
 
-	// 2. Build and run the simulated deployment for one hour.
-	mgr, err := acm.NewManager(cfg)
+	// 2. Build and run the simulated deployment for one hour, through the
+	// backend seam — the same interface the experiment runners and CLIs use.
+	b, err := backend.NewSimulated(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := mgr.Run(1 * simclock.Hour); err != nil {
+	if err := b.Run(1 * simclock.Hour); err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Inspect what the autonomic manager did.
-	fmt.Println("client metrics:         ", mgr.Metrics())
-	fmt.Println("control eras executed:  ", mgr.Eras())
-	fmt.Println("installed fractions:    ", fmtFractions(mgr.RegionNames(), mgr.Loop().Fractions()))
-	fmt.Println("smoothed RMTTF:         ", mgr.Loop().Aggregator().String())
-	leader, _ := mgr.Cluster().GlobalLeader()
-	fmt.Println("leader controller:      ", leader)
-	for name, s := range mgr.VMCStats() {
+	// 3. Inspect what the autonomic manager did, from the end-of-run
+	// snapshot.  Sim-only internals stay reachable via b.Manager().
+	final := b.Results()
+	fmt.Println("client metrics:         ", b.Metrics())
+	fmt.Println("control eras executed:  ", final.Eras)
+	fmt.Println("installed fractions:    ", fmtFractions(final.RegionNames, final.FinalFractions))
+	fmt.Println("smoothed RMTTF:         ", b.Manager().Loop().Aggregator().String())
+	fmt.Println("leader controller:      ", final.Leader)
+	for name, s := range final.VMCStats {
 		fmt.Printf("%s: proactive rejuvenations=%d reactive recoveries=%d\n",
 			name, s.ProactiveRejuvenations, s.ReactiveRecoveries)
 	}
-	fmt.Printf("mean response time: %.0f ms (SLA: 1000 ms)\n", 1000*mgr.Metrics().MeanResponseTime(""))
+	fmt.Printf("mean response time: %.0f ms (SLA: 1000 ms)\n", 1000*b.Metrics().MeanResponseTime(""))
 }
 
 func fmtFractions(names []string, fractions []float64) string {

@@ -243,6 +243,7 @@ type Manager struct {
 	director    *gslb.Director         // non-nil when GSLB is enabled centrally
 	plane       *gossip.Plane          // non-nil when GossipReplicas > 0
 	arrivals    []*workload.VaryingOpenLoop
+	mm          *managerMetrics
 	stopProbe   func()
 	stopGossip  func()
 
@@ -361,6 +362,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := m.buildDirector(); err != nil {
 		return nil, err
 	}
+	// The instrument families depend on the director/plane shape, so the
+	// registry is assembled right after the global wiring.
+	m.buildMetrics()
 	if cfg.EventWorkers == 0 {
 		if err := m.buildSerialArrivals(); err != nil {
 			return nil, err
@@ -780,14 +784,15 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 	// counts are what the global-failover golden pins the drain/failback
 	// story on: the faulted region's series flattens during the outage while
 	// the backup's keeps climbing.
+	var states []gslb.HealthState
+	var routed map[string]uint64
 	if m.director != nil || m.plane != nil {
-		var states []gslb.HealthState
 		if m.plane != nil {
 			states = m.plane.OwnerStates()
 		} else {
 			states = m.director.States()
 		}
-		routed := m.GSLBRouted()
+		routed = m.GSLBRouted()
 		for i, name := range m.regionNames {
 			m.recorder.Record("gslb_health", name, now, float64(states[i]))
 			m.recorder.Record("gslb_routed", name, now, float64(routed[name]))
@@ -814,6 +819,10 @@ func (m *Manager) controlEra(eng *simclock.Engine) {
 			}
 		}
 	}
+
+	// Mirror the era's state into the instrument registry — still at the
+	// barrier, from the same merged views the recorder just captured.
+	m.publishMetrics(met, res.SmoothedRMTTF, res.Fractions, lambda, respMean, states, routed)
 }
 
 // intervalArrivals returns the global request rate and per-region entry

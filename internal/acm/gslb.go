@@ -21,6 +21,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/gslb"
 	"repro/internal/simclock"
+	"repro/internal/validate"
 	"repro/internal/workload"
 )
 
@@ -101,57 +102,57 @@ type PartitionFault struct {
 func (m *Manager) validateGlobal() error {
 	cfg := m.cfg
 	if cfg.GlobalClients < 0 {
-		return fmt.Errorf("acm: GlobalClients must be >= 0, got %d", cfg.GlobalClients)
+		return validate.Fieldf("acm", "GlobalClients", "must be >= 0, got %d", cfg.GlobalClients)
 	}
 	if cfg.GlobalClients > 0 && !cfg.GSLB.Enabled() {
-		return fmt.Errorf("acm: %d global clients but no GSLB policy configured", cfg.GlobalClients)
+		return validate.Fieldf("acm", "GlobalClients", "= %d but no GSLB policy configured", cfg.GlobalClients)
 	}
 	if cfg.CohortClients < 0 {
-		return fmt.Errorf("acm: CohortClients must be >= 0, got %d", cfg.CohortClients)
+		return validate.Fieldf("acm", "CohortClients", "must be >= 0, got %d", cfg.CohortClients)
 	}
 	if cfg.CohortClients > 0 && !cfg.GSLB.Enabled() {
-		return fmt.Errorf("acm: %d global cohort clients but no GSLB policy configured", cfg.CohortClients)
+		return validate.Fieldf("acm", "CohortClients", "= %d global cohort clients but no GSLB policy configured", cfg.CohortClients)
 	}
 	if cfg.TracerFraction < 0 || cfg.TracerFraction > 1 {
-		return fmt.Errorf("acm: TracerFraction must be in [0, 1], got %v", cfg.TracerFraction)
+		return validate.Fieldf("acm", "TracerFraction", "must be in [0, 1], got %v", cfg.TracerFraction)
 	}
 	for i, rs := range cfg.Regions {
 		if rs.CohortClients < 0 {
-			return fmt.Errorf("acm: region %d (%s): CohortClients must be >= 0, got %d", i, rs.Region.Name, rs.CohortClients)
+			return validate.Fieldf("acm", fmt.Sprintf("Regions[%d].CohortClients", i), "(%s) must be >= 0, got %d", rs.Region.Name, rs.CohortClients)
 		}
 	}
 	seen := map[string]bool{}
 	for i, a := range cfg.Arrivals {
 		if a.Name == "" {
-			return fmt.Errorf("acm: arrival stream %d has no name", i)
+			return validate.Fieldf("acm", fmt.Sprintf("Arrivals[%d]", i), "has no name")
 		}
 		if seen[a.Name] {
-			return fmt.Errorf("acm: arrival stream %q listed twice", a.Name)
+			return validate.Fieldf("acm", fmt.Sprintf("Arrivals[%d].Name", i), "%q listed twice", a.Name)
 		}
 		seen[a.Name] = true
 		// The name doubles as the stream's metrics label: colliding with a
 		// region name would fold the stream's counters into that region's
 		// entry-share accounting, and "global" is the global browsers' label.
 		if _, taken := m.regionIndex[a.Name]; taken || a.Name == "global" {
-			return fmt.Errorf("acm: arrival stream name %q collides with a region/global metrics label", a.Name)
+			return validate.Fieldf("acm", fmt.Sprintf("Arrivals[%d].Name", i), "%q collides with a region/global metrics label", a.Name)
 		}
 		if err := a.Rate.Validate(); err != nil {
-			return fmt.Errorf("acm: arrival stream %q: %w", a.Name, err)
+			return fmt.Errorf("acm: Arrivals[%d] (%s): %w", i, a.Name, err)
 		}
 		if a.Region == "" {
 			if !cfg.GSLB.Enabled() {
-				return fmt.Errorf("acm: arrival stream %q attaches globally but no GSLB policy is configured", a.Name)
+				return validate.Fieldf("acm", fmt.Sprintf("Arrivals[%d]", i), "stream %q attaches globally but no GSLB policy is configured", a.Name)
 			}
 		} else if _, ok := m.regionIndex[a.Region]; !ok {
-			return fmt.Errorf("acm: arrival stream %q pinned to unknown region %q", a.Name, a.Region)
+			return validate.Fieldf("acm", fmt.Sprintf("Arrivals[%d].Region", i), "pins stream %q to unknown region %q", a.Name, a.Region)
 		}
 	}
 	for i, f := range cfg.Faults {
 		if _, ok := m.vmcs[f.Region]; !ok {
-			return fmt.Errorf("acm: fault %d names unknown region %q", i, f.Region)
+			return validate.Fieldf("acm", fmt.Sprintf("Faults[%d].Region", i), "names unknown region %q", f.Region)
 		}
 		if f.At < 0 || f.Duration < 0 || f.KeepActive < 0 {
-			return fmt.Errorf("acm: fault %d for %s has negative At/Duration/KeepActive", i, f.Region)
+			return validate.Fieldf("acm", fmt.Sprintf("Faults[%d]", i), "for %s has negative At/Duration/KeepActive", f.Region)
 		}
 		// Overlapping outages on one region would interleave their
 		// force/restore pairs: the earlier fault's restore would end the
@@ -168,12 +169,12 @@ func (m *Manager) validateGlobal() error {
 				first, second = second, first
 			}
 			if first.Duration == 0 || second.At <= first.At+first.Duration {
-				return fmt.Errorf("acm: faults %d and %d overlap on region %s (a permanent fault conflicts with any later one)", j, i, f.Region)
+				return validate.Fieldf("acm", "Faults", "%d and %d overlap on region %s (a permanent fault conflicts with any later one)", j, i, f.Region)
 			}
 		}
 	}
 	if len(cfg.LinkFaults) > 0 && !cfg.GSLB.LatencyAware() {
-		return fmt.Errorf("acm: LinkFaults require a latency-aware GSLB config (latency policy or an RTT matrix)")
+		return validate.Fieldf("acm", "LinkFaults", "require a latency-aware GSLB config (latency policy or an RTT matrix)")
 	}
 	if err := m.validateGossip(); err != nil {
 		return err
@@ -184,19 +185,19 @@ func (m *Manager) validateGlobal() error {
 	}
 	for i, f := range cfg.LinkFaults {
 		if !streamKnown[f.Stream] {
-			return fmt.Errorf("acm: link fault %d names unknown population stream %q", i, f.Stream)
+			return validate.Fieldf("acm", fmt.Sprintf("LinkFaults[%d].Stream", i), "names unknown population stream %q", f.Stream)
 		}
 		if _, ok := m.regionIndex[f.Region]; !ok {
-			return fmt.Errorf("acm: link fault %d names unknown region %q", i, f.Region)
+			return validate.Fieldf("acm", fmt.Sprintf("LinkFaults[%d].Region", i), "names unknown region %q", f.Region)
 		}
 		if len(cfg.GSLB.RTT[f.Stream]) == 0 {
-			return fmt.Errorf("acm: link fault %d degrades stream %q, which has no GSLB.RTT row (the ground-truth path would stay at 0 ms)", i, f.Stream)
+			return validate.Fieldf("acm", fmt.Sprintf("LinkFaults[%d]", i), "degrades stream %q, which has no GSLB.RTT row (the ground-truth path would stay at 0 ms)", f.Stream)
 		}
 		if f.At < 0 || f.Duration < 0 {
-			return fmt.Errorf("acm: link fault %d for %s:%s has negative At/Duration", i, f.Stream, f.Region)
+			return validate.Fieldf("acm", fmt.Sprintf("LinkFaults[%d]", i), "for %s:%s has negative At/Duration", f.Stream, f.Region)
 		}
 		if !(f.Factor > 0) || math.IsInf(f.Factor, 0) {
-			return fmt.Errorf("acm: link fault %d for %s:%s has Factor %v; must be positive and finite", i, f.Stream, f.Region, f.Factor)
+			return validate.Fieldf("acm", fmt.Sprintf("LinkFaults[%d].Factor", i), "= %v for %s:%s; must be positive and finite", f.Factor, f.Stream, f.Region)
 		}
 		// Like region faults, overlapping degradations of one path would
 		// interleave their scale/restore pairs and reinstate stale values.
@@ -209,7 +210,7 @@ func (m *Manager) validateGlobal() error {
 				first, second = second, first
 			}
 			if first.Duration == 0 || second.At <= first.At+first.Duration {
-				return fmt.Errorf("acm: link faults %d and %d overlap on %s:%s (a permanent fault conflicts with any later one)", j, i, f.Stream, f.Region)
+				return validate.Fieldf("acm", "LinkFaults", "%d and %d overlap on %s:%s (a permanent fault conflicts with any later one)", j, i, f.Stream, f.Region)
 			}
 		}
 	}
@@ -221,43 +222,43 @@ func (m *Manager) validateGlobal() error {
 func (m *Manager) validateGossip() error {
 	cfg := m.cfg
 	if cfg.GossipReplicas < 0 {
-		return fmt.Errorf("acm: GossipReplicas must be >= 0, got %d", cfg.GossipReplicas)
+		return validate.Fieldf("acm", "GossipReplicas", "must be >= 0, got %d", cfg.GossipReplicas)
 	}
 	if cfg.GossipReplicas == 0 {
 		if cfg.GossipInterval != 0 || cfg.GossipFanout != 0 || cfg.GossipDelay != 0 || cfg.GossipLoss != 0 || len(cfg.PartitionFaults) > 0 {
-			return fmt.Errorf("acm: gossip tuning/partition fields set but GossipReplicas is 0")
+			return validate.Fieldf("acm", "GossipReplicas", "is 0 but gossip tuning/partition fields are set")
 		}
 		return nil
 	}
 	if !cfg.GSLB.Enabled() {
-		return fmt.Errorf("acm: GossipReplicas = %d but no GSLB policy configured", cfg.GossipReplicas)
+		return validate.Fieldf("acm", "GossipReplicas", "= %d but no GSLB policy configured", cfg.GossipReplicas)
 	}
 	if cfg.GSLB.LatencyAware() {
-		return fmt.Errorf("acm: the gossip health plane cannot run a latency-aware GSLB config (its passive estimators are central); use the central director")
+		return validate.Fieldf("acm", "GossipReplicas", "> 0 cannot run a latency-aware GSLB config (its passive estimators are central); use the central director")
 	}
 	if cfg.GossipInterval < 0 || cfg.GossipDelay < 0 {
-		return fmt.Errorf("acm: GossipInterval/GossipDelay must be >= 0")
+		return validate.Fieldf("acm", "GossipInterval/GossipDelay", "must be >= 0")
 	}
 	if l := cfg.GossipLoss; math.IsNaN(l) || l < 0 || l >= 1 {
-		return fmt.Errorf("acm: GossipLoss = %v; must lie in [0, 1)", l)
+		return validate.Fieldf("acm", "GossipLoss", "= %v; must lie in [0, 1)", l)
 	}
 	for i, f := range cfg.PartitionFaults {
 		if cfg.GossipReplicas < 2 {
-			return fmt.Errorf("acm: partition fault %d needs GossipReplicas >= 2, got %d", i, cfg.GossipReplicas)
+			return validate.Fieldf("acm", fmt.Sprintf("PartitionFaults[%d]", i), "needs GossipReplicas >= 2, got %d", cfg.GossipReplicas)
 		}
 		if f.At < 0 || f.Duration < 0 {
-			return fmt.Errorf("acm: partition fault %d has negative At/Duration", i)
+			return validate.Fieldf("acm", fmt.Sprintf("PartitionFaults[%d]", i), "has negative At/Duration")
 		}
 		if len(f.Replicas) == 0 || len(f.Replicas) >= cfg.GossipReplicas {
-			return fmt.Errorf("acm: partition fault %d must isolate between 1 and %d replicas, got %d", i, cfg.GossipReplicas-1, len(f.Replicas))
+			return validate.Fieldf("acm", fmt.Sprintf("PartitionFaults[%d].Replicas", i), "must isolate between 1 and %d replicas, got %d", cfg.GossipReplicas-1, len(f.Replicas))
 		}
 		seen := map[int]bool{}
 		for _, r := range f.Replicas {
 			if r < 0 || r >= cfg.GossipReplicas {
-				return fmt.Errorf("acm: partition fault %d names replica %d outside [0, %d)", i, r, cfg.GossipReplicas)
+				return validate.Fieldf("acm", fmt.Sprintf("PartitionFaults[%d].Replicas", i), "names replica %d outside [0, %d)", r, cfg.GossipReplicas)
 			}
 			if seen[r] {
-				return fmt.Errorf("acm: partition fault %d lists replica %d twice", i, r)
+				return validate.Fieldf("acm", fmt.Sprintf("PartitionFaults[%d].Replicas", i), "lists replica %d twice", r)
 			}
 			seen[r] = true
 		}
@@ -269,7 +270,7 @@ func (m *Manager) validateGossip() error {
 				first, second = second, first
 			}
 			if first.Duration == 0 || second.At <= first.At+first.Duration {
-				return fmt.Errorf("acm: partition faults %d and %d overlap (a permanent partition conflicts with any later one)", j, i)
+				return validate.Fieldf("acm", "PartitionFaults", "%d and %d overlap (a permanent partition conflicts with any later one)", j, i)
 			}
 		}
 	}

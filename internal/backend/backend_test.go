@@ -1,0 +1,76 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/acm"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/simclock"
+)
+
+func testConfig() acm.Config {
+	return acm.Config{
+		Seed: 7,
+		Regions: []acm.RegionSetup{
+			{Region: cloudsim.PaperRegionConfig(cloudsim.PaperRegion1), Clients: 16},
+		},
+		Policy:          core.AvailableResources{},
+		ControlInterval: 60 * simclock.Second,
+	}
+}
+
+func TestFactoryRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) == 0 || kinds[0] != KindSimulated {
+		t.Fatalf("kinds %v, want the simulator registered as %q", kinds, KindSimulated)
+	}
+
+	// The empty kind defaults to the simulator — Scenario.Backend is "" in
+	// every pre-existing scenario JSON.
+	for _, kind := range []string{"", KindSimulated} {
+		b, err := New(kind, testConfig())
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		if _, ok := b.(*Simulated); !ok {
+			t.Fatalf("New(%q) = %T, want *Simulated", kind, b)
+		}
+	}
+
+	_, err := New("live", testConfig())
+	if err == nil || !strings.Contains(err.Error(), `unknown kind "live"`) {
+		t.Fatalf("unknown kind error %v", err)
+	}
+	if !strings.Contains(err.Error(), KindSimulated) {
+		t.Fatalf("error %v does not list the registered kinds", err)
+	}
+}
+
+func TestSimulatedImplementsBackend(t *testing.T) {
+	b, err := NewSimulated(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Backend = b
+	if err := b.Run(5 * simclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	final := b.Results()
+	if final.Eras == 0 {
+		t.Fatal("no control eras in the snapshot")
+	}
+	if len(final.RegionNames) != 1 || final.RegionNames[0] != "region1" {
+		t.Fatalf("region names %v", final.RegionNames)
+	}
+	if final.GSLB != nil {
+		t.Fatal("regional deployment reported a GSLB block")
+	}
+	if b.Registry() == nil || b.Recorder() == nil || b.Metrics() == nil {
+		t.Fatal("nil surface on the backend")
+	}
+	if text := b.Registry().Text(); !strings.Contains(text, "acm_control_eras_total") {
+		t.Fatalf("registry exposition missing era counter:\n%.1000s", text)
+	}
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestRegisterSweepFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sw := RegisterSweepFlags(fs, 7, "workers usage")
+	if err := fs.Parse([]string{"-scenarios", "figure3,figure4", "-betas", "0.25,0.75", "-reps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Active() {
+		t.Fatal("sweep not active with -scenarios set")
+	}
+	if *sw.Workers != 7 {
+		t.Fatalf("workers default %d, want the caller's 7", *sw.Workers)
+	}
+	m, err := sw.Matrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Scenarios) != 2 || m.Replications != 3 || m.BaseSeed != 42 {
+		t.Fatalf("matrix %+v", m)
+	}
+	if len(m.Betas) != 2 || m.Betas[0] != 0.25 {
+		t.Fatalf("betas %v", m.Betas)
+	}
+	if got := sw.Options().Workers; got != 7 {
+		t.Fatalf("options workers %d", got)
+	}
+}
+
+func TestMatrixRejectsBadBetas(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sw := RegisterSweepFlags(fs, 0, "u")
+	if err := fs.Parse([]string{"-scenarios", "figure3", "-betas", "0.25,nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Matrix(1); err == nil {
+		t.Fatal("expected an error for a non-numeric beta")
+	}
+}
+
+func TestSweepOnlyFlagNames(t *testing.T) {
+	with := SweepOnlyFlagNames(true)
+	without := SweepOnlyFlagNames(false)
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(with, "workers") || has(without, "workers") {
+		t.Fatalf("workers handling wrong: with=%v without=%v", with, without)
+	}
+	for _, n := range []string{"sweep-csv", "sweep-json", "journal", "betas", "reps", "policies"} {
+		if !has(with, n) || !has(without, n) {
+			t.Fatalf("missing shared sweep-only flag %q", n)
+		}
+	}
+}
+
+func TestParseRTT(t *testing.T) {
+	rtt, err := ParseRTT("global=60,120; americas = 80,140", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtt) != 2 || rtt["global"][1] != 120 || rtt["americas"][0] != 80 {
+		t.Fatalf("rtt %v", rtt)
+	}
+
+	// Errors keep the named-flag form so CLI output stays actionable.
+	cases := []struct {
+		spec    string
+		regions int
+		want    string
+	}{
+		{"globalnoequals", 2, "-rtt: row \"globalnoequals\" is not stream=ms1,ms2,..."},
+		{"g=1,2;g=3,4", 2, `-rtt: stream "g" listed twice`},
+		{"g=1,2,3", 2, `-rtt: stream "g" has 3 entries, want one per deployed region (2)`},
+		{"g=1,x", 2, `-rtt: stream "g" entry 1:`},
+		{" ; ", 2, `-rtt: no rows in`},
+	}
+	for _, c := range cases {
+		_, err := ParseRTT(c.spec, c.regions)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("ParseRTT(%q) error %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}

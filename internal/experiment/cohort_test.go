@@ -40,15 +40,15 @@ func TestCohortScenarioSmoke(t *testing.T) {
 				t.Fatal(err)
 			}
 			sc.Horizon = 5 * simclock.Minute
-			mgr, err := NewManager(sc, np)
+			b, err := NewBackend(sc, np)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := mgr.Run(sc.Horizon); err != nil {
+			if err := b.Run(sc.Horizon); err != nil {
 				t.Fatal(err)
 			}
-			res := summarize(sc, np, mgr)
-			met := mgr.Metrics()
+			res := summarize(sc, np, b)
+			met := b.Metrics()
 			if res.Eras == 0 {
 				t.Fatal("no control eras completed")
 			}

@@ -106,8 +106,8 @@ func RunParallel(ctx context.Context, jobs []Job, opt Options) ([]JobResult, err
 	}
 	// The pool callback never returns an error (failures land in the job's
 	// slot), so ForEach only reports context cancellation.  Policy cloning is
-	// not needed here: Run builds the manager via NewManager, which clones the
-	// policy per simulation.
+	// not needed here: Run constructs the deployment via NewBackend, which
+	// clones the policy per simulation.
 	// Worker normalisation (non-positive selects GOMAXPROCS, the pool never
 	// exceeds the job count) happens inside the fan-out.
 	err := ForEach(ctx, len(jobs), opt.Workers, func(i int) error {

@@ -7,7 +7,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/acm"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/stats"
@@ -73,17 +73,18 @@ type Result struct {
 	FinalFractions []float64
 }
 
-// Run executes the scenario under the given policy and collects the result.
+// Run executes the scenario under the given policy — through the backend
+// seam — and collects the result.
 func Run(sc Scenario, np NamedPolicy) (*Result, error) {
 	sc = sc.withDefaults()
-	mgr, err := NewManager(sc, np)
+	b, err := NewBackend(sc, np)
 	if err != nil {
 		return nil, err
 	}
-	if err := mgr.Run(sc.Horizon); err != nil {
+	if err := b.Run(sc.Horizon); err != nil {
 		return nil, fmt.Errorf("experiment: running %s/%s: %w", sc.Name, np.Key, err)
 	}
-	return summarize(sc, np, mgr), nil
+	return summarize(sc, np, b), nil
 }
 
 // RunAllPolicies runs the scenario under the paper's three policies — one
@@ -115,18 +116,21 @@ func RunPolicies(ctx context.Context, sc Scenario, policies []NamedPolicy, opt O
 	return out, nil
 }
 
-// summarize extracts the summary metrics from a finished run.
-func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
-	rec := mgr.Recorder()
-	met := mgr.Metrics()
+// summarize extracts the summary metrics from a finished run, reading only
+// the Backend interface — the recorder series, the merged workload metrics
+// and the plain-data Results snapshot.
+func summarize(sc Scenario, np NamedPolicy, b backend.Backend) *Result {
+	rec := b.Recorder()
+	met := b.Metrics()
+	final := b.Results()
 
 	res := &Result{
 		Scenario:       sc,
 		PolicyKey:      np.Key,
 		PolicyLabel:    np.Label,
 		Recorder:       rec,
-		Eras:           mgr.Eras(),
-		FinalFractions: mgr.Loop().Fractions(),
+		Eras:           final.Eras,
+		FinalFractions: final.FinalFractions,
 	}
 
 	rmttfSet := rec.Set("rmttf")
@@ -155,17 +159,19 @@ func summarize(sc Scenario, np NamedPolicy, mgr *acm.Manager) *Result {
 	}
 	res.SuccessRatio = met.SuccessRatio("")
 
-	if total := mgr.ForwardedRequests() + mgr.LocalRequests(); total > 0 {
-		res.ForwardedFraction = float64(mgr.ForwardedRequests()) / float64(total)
+	if total := final.ForwardedRequests + final.LocalRequests; total > 0 {
+		res.ForwardedFraction = float64(final.ForwardedRequests) / float64(total)
 	}
-	res.GSLBRouted = mgr.GSLBRouted()
-	res.GSLBTransitions = mgr.GSLBTransitions()
-	res.Gossip = mgr.GossipStats()
-	for _, s := range mgr.VMCStats() {
+	if final.GSLB != nil {
+		res.GSLBRouted = final.GSLB.Routed
+		res.GSLBTransitions = final.GSLB.Transitions
+	}
+	res.Gossip = final.Gossip
+	for _, s := range final.VMCStats {
 		res.ProactiveRejuvenations += s.ProactiveRejuvenations
 		res.ReactiveRecoveries += s.ReactiveRecoveries
 	}
-	for _, s := range mgr.RegionStats() {
+	for _, s := range final.RegionStats {
 		res.Crashes += s.Crashes
 	}
 	return res

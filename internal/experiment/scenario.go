@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/acm"
+	"repro/internal/backend"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/gslb"
@@ -106,6 +107,10 @@ type Scenario struct {
 	// ConvergenceTolerance is the relative RMTTF spread below which the
 	// regions are considered converged (0.3 when zero).
 	ConvergenceTolerance float64
+	// Backend selects which backend.Backend implementation realises the
+	// deployment ("" and "sim" both select the simulator).  Plain string so
+	// scenarios stay JSON round-trippable.
+	Backend string
 }
 
 // ValidateBeta rejects smoothing factors that withDefaults would silently
@@ -173,16 +178,34 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 	}
 }
 
-// NewManager builds a fresh ACM deployment from the scenario and the policy.
-// The policy is cloned first, so callers may reuse one NamedPolicy across
-// concurrent runs even for stateful policies such as Policy 3.
-func NewManager(sc Scenario, np NamedPolicy) (*acm.Manager, error) {
+// NewBackend builds a fresh deployment from the scenario and the policy,
+// through the backend seam (the scenario's Backend field picks the
+// implementation; the simulator by default).  The policy is cloned first, so
+// callers may reuse one NamedPolicy across concurrent runs even for stateful
+// policies such as Policy 3.
+func NewBackend(sc Scenario, np NamedPolicy) (backend.Backend, error) {
 	sc = sc.withDefaults()
-	mgr, err := acm.NewManager(sc.ManagerConfig(core.ClonePolicy(np.Policy)))
+	b, err := backend.New(sc.Backend, sc.ManagerConfig(core.ClonePolicy(np.Policy)))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: scenario %s policy %s: %w", sc.Name, np.Key, err)
 	}
-	return mgr, nil
+	return b, nil
+}
+
+// NewManager builds a fresh simulated deployment from the scenario and the
+// policy.  It goes through the backend seam and unwraps the simulator, so the
+// equivalence and determinism suites can keep scheduling through the engine;
+// scenarios selecting a non-simulator backend must use NewBackend instead.
+func NewManager(sc Scenario, np NamedPolicy) (*acm.Manager, error) {
+	b, err := NewBackend(sc, np)
+	if err != nil {
+		return nil, err
+	}
+	sim, ok := b.(*backend.Simulated)
+	if !ok {
+		return nil, fmt.Errorf("experiment: scenario %s selects backend %q, which is not the simulator", sc.Name, sc.Backend)
+	}
+	return sim.Manager(), nil
 }
 
 // RegionNames returns the region names of the scenario in order.

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
 	"repro/internal/stats"
+	"repro/internal/validate"
 )
 
 // PolicyKind names a routing policy.
@@ -460,32 +461,32 @@ func (c Config) Validate(regions, streams []string) error {
 func validateConfig(cfg Config, regions, streams []string) error {
 	if len(cfg.Weights) > 0 {
 		if len(cfg.Weights) != len(regions) {
-			return fmt.Errorf("gslb: %d static weights for %d regions", len(cfg.Weights), len(regions))
+			return validate.Fieldf("gslb", "Weights", "has %d static weights for %d regions", len(cfg.Weights), len(regions))
 		}
 		positive := false
 		for i, w := range cfg.Weights {
 			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-				return fmt.Errorf("gslb: Weights[%d] = %v; weights must be finite and non-negative", i, w)
+				return validate.Fieldf("gslb", fmt.Sprintf("Weights[%d]", i), "= %v; weights must be finite and non-negative", w)
 			}
 			if w > 0 {
 				positive = true
 			}
 		}
 		if !positive {
-			return fmt.Errorf("gslb: Weights must contain at least one positive entry")
+			return validate.Fieldf("gslb", "Weights", "must contain at least one positive entry")
 		}
 	}
 	if t := cfg.CapacityThreshold; t != DisabledThreshold && (math.IsNaN(t) || t < 0) {
-		return fmt.Errorf("gslb: CapacityThreshold = %v; must be >= 0 or DisabledThreshold (-1)", t)
+		return validate.Fieldf("gslb", "CapacityThreshold", "= %v; must be >= 0 or DisabledThreshold (-1)", t)
 	}
 	if t := cfg.ErrorThreshold; t != DisabledThreshold && (math.IsNaN(t) || t < 0) {
-		return fmt.Errorf("gslb: ErrorThreshold = %v; must be >= 0 or DisabledThreshold (-1)", t)
+		return validate.Fieldf("gslb", "ErrorThreshold", "= %v; must be >= 0 or DisabledThreshold (-1)", t)
 	}
 	if k := cfg.LatencyExponent; math.IsNaN(k) || math.IsInf(k, 0) || k < 0 {
-		return fmt.Errorf("gslb: LatencyExponent = %v; must be finite and >= 0", k)
+		return validate.Fieldf("gslb", "LatencyExponent", "= %v; must be finite and >= 0", k)
 	}
 	if a := cfg.LatencyAlpha; math.IsNaN(a) || a < 0 || a > 1 {
-		return fmt.Errorf("gslb: LatencyAlpha = %v; must lie in [0, 1]", a)
+		return validate.Fieldf("gslb", "LatencyAlpha", "= %v; must lie in [0, 1]", a)
 	}
 	if len(cfg.RTT) > 0 {
 		known := make(map[string]bool, len(streams))
@@ -494,14 +495,14 @@ func validateConfig(cfg Config, regions, streams []string) error {
 		}
 		for name, row := range cfg.RTT {
 			if !known[name] {
-				return fmt.Errorf("gslb: RTT row %q names no population stream (streams: %s)", name, strings.Join(streams, ", "))
+				return validate.Fieldf("gslb", fmt.Sprintf("RTT[%q]", name), "names no population stream (streams: %s)", strings.Join(streams, ", "))
 			}
 			if len(row) != len(regions) {
-				return fmt.Errorf("gslb: RTT row %q has %d entries for %d regions", name, len(row), len(regions))
+				return validate.Fieldf("gslb", fmt.Sprintf("RTT[%q]", name), "has %d entries for %d regions", len(row), len(regions))
 			}
 			for r, ms := range row {
 				if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
-					return fmt.Errorf("gslb: RTT[%q][%d] = %v; must be finite and >= 0", name, r, ms)
+					return validate.Fieldf("gslb", fmt.Sprintf("RTT[%q][%d]", name, r), "= %v; must be finite and >= 0", ms)
 				}
 			}
 		}
@@ -509,7 +510,7 @@ func validateConfig(cfg Config, regions, streams []string) error {
 	seen := make(map[string]bool, len(streams))
 	for _, s := range streams {
 		if seen[s] {
-			return fmt.Errorf("gslb: stream %q listed twice", s)
+			return validate.Fieldf("gslb", "streams", "%q listed twice", s)
 		}
 		seen[s] = true
 	}

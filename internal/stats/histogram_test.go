@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	// Bins are "first bound >= v": 1 lands in the le=1 bin, 10 overflows.
+	want := []uint64{2, 1, 1, 1}
+	got := h.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("got %d bins, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-16) > 1e-12 {
+		t.Fatalf("sum %v, want 16", h.Sum())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(9)
+
+	a.Merge(b)
+	if a.Count() != 3 || a.Counts()[0] != 1 || a.Counts()[1] != 1 || a.Counts()[2] != 1 {
+		t.Fatalf("merge wrong: counts=%v count=%d", a.Counts(), a.Count())
+	}
+	if math.Abs(a.Sum()-11) > 1e-12 {
+		t.Fatalf("merged sum %v, want 11", a.Sum())
+	}
+
+	// Merge order cannot matter: integer bin counts commute exactly.
+	x := NewHistogram([]float64{1, 2})
+	y := NewHistogram([]float64{1, 2})
+	x.Observe(0.5)
+	y.Observe(1.5)
+	xy := NewHistogram([]float64{1, 2})
+	xy.Merge(x)
+	xy.Merge(y)
+	yx := NewHistogram([]float64{1, 2})
+	yx.Merge(y)
+	yx.Merge(x)
+	for i := range xy.Counts() {
+		if xy.Counts()[i] != yx.Counts()[i] {
+			t.Fatal("merge is not commutative")
+		}
+	}
+
+	// Layout mismatches and nil sources are ignored, not corrupted.
+	a.Merge(nil)
+	a.Merge(NewHistogram([]float64{1, 2, 3}))
+	if a.Count() != 3 {
+		t.Fatalf("mismatched merge changed the histogram: count %d", a.Count())
+	}
+}
+
+func TestHistogramCountsIsACopy(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	c := h.Counts()
+	c[0] = 99
+	if h.Counts()[0] != 1 {
+		t.Fatal("Counts leaked internal state")
+	}
+}

@@ -1,0 +1,16 @@
+// Package validate is the one config-validation error style shared by every
+// validator in the repo (acm.Config, gslb.Config, the workload rate specs).
+// Each error names its package and offending field in a fixed
+// "pkg: Field detail" shape, so error-message regression tests can assert on
+// stable substrings and a sweep over hundreds of scenario configs reads
+// uniformly no matter which layer rejected one.
+package validate
+
+import "fmt"
+
+// Fieldf builds a named-field config error: "<pkg>: <field> <detail>", with
+// detail formatted from format/args.  The field is a config field name or a
+// dotted/indexed path into one ("Faults[2]", "GSLB.RTT[web]").
+func Fieldf(pkg, field, format string, args ...any) error {
+	return fmt.Errorf("%s: %s %s", pkg, field, fmt.Sprintf(format, args...))
+}

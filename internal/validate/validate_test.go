@@ -1,0 +1,11 @@
+package validate
+
+import "testing"
+
+func TestFieldf(t *testing.T) {
+	err := Fieldf("acm", "Regions[2].CohortClients", "must be >= 0, got %d", -1)
+	want := "acm: Regions[2].CohortClients must be >= 0, got -1"
+	if err.Error() != want {
+		t.Fatalf("got %q, want %q", err, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
+	"repro/internal/validate"
 )
 
 // This file adds time-varying request arrivals: an inhomogeneous Poisson
@@ -68,39 +69,39 @@ func (s RateSpec) Validate() error {
 	switch s.Kind {
 	case RateConstant:
 		if s.Rate <= 0 {
-			return fmt.Errorf("workload: constant rate must be positive, got %v", s.Rate)
+			return validate.Fieldf("workload", "Rate", "(constant) must be positive, got %v", s.Rate)
 		}
 	case RateSinusoid:
 		if s.Base <= 0 {
-			return fmt.Errorf("workload: sinusoid base rate must be positive, got %v", s.Base)
+			return validate.Fieldf("workload", "Base", "(sinusoid) must be positive, got %v", s.Base)
 		}
 		if s.Amplitude < 0 {
-			return fmt.Errorf("workload: sinusoid amplitude must be non-negative, got %v", s.Amplitude)
+			return validate.Fieldf("workload", "Amplitude", "(sinusoid) must be non-negative, got %v", s.Amplitude)
 		}
 		if s.Period <= 0 {
-			return fmt.Errorf("workload: sinusoid period must be positive, got %v", s.Period)
+			return validate.Fieldf("workload", "Period", "(sinusoid) must be positive, got %v", s.Period)
 		}
 	case RatePiecewise:
 		if len(s.Steps) == 0 {
-			return fmt.Errorf("workload: piecewise rate needs at least one step")
+			return validate.Fieldf("workload", "Steps", "(piecewise) needs at least one step")
 		}
 		positive := false
 		for i, st := range s.Steps {
 			if st.Duration <= 0 {
-				return fmt.Errorf("workload: piecewise step %d has non-positive duration", i)
+				return validate.Fieldf("workload", fmt.Sprintf("Steps[%d].Duration", i), "must be positive, got %v", st.Duration)
 			}
 			if st.Rate < 0 {
-				return fmt.Errorf("workload: piecewise step %d has negative rate", i)
+				return validate.Fieldf("workload", fmt.Sprintf("Steps[%d].Rate", i), "must be non-negative, got %v", st.Rate)
 			}
 			if st.Rate > 0 {
 				positive = true
 			}
 		}
 		if !positive {
-			return fmt.Errorf("workload: piecewise rate is zero everywhere")
+			return validate.Fieldf("workload", "Steps", "(piecewise) rate is zero everywhere")
 		}
 	default:
-		return fmt.Errorf("workload: unknown rate kind %q (use %s, %s or %s)",
+		return validate.Fieldf("workload", "Kind", "%q is an unknown rate kind (use %s, %s or %s)",
 			s.Kind, RateConstant, RateSinusoid, RatePiecewise)
 	}
 	return nil

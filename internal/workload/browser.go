@@ -332,7 +332,13 @@ func (o *OpenLoop) scheduleNext(eng *simclock.Engine) {
 type Metrics struct {
 	perRegion map[string]*regionMetrics
 	global    regionMetrics
+	respHist  *stats.Histogram
 }
+
+// ResponseTimeBuckets is the bucket layout of the response-time histogram,
+// in seconds.  The SLA threshold (1s) is a bucket bound, so the SLA
+// violation ratio is readable straight off the cumulative bucket counts.
+var ResponseTimeBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
 type regionMetrics struct {
 	issued    uint64
@@ -345,7 +351,10 @@ type regionMetrics struct {
 
 // NewMetrics returns an empty metrics sink.
 func NewMetrics() *Metrics {
-	return &Metrics{perRegion: map[string]*regionMetrics{}}
+	return &Metrics{
+		perRegion: map[string]*regionMetrics{},
+		respHist:  stats.NewHistogram(ResponseTimeBuckets),
+	}
 }
 
 // SLAThresholdSeconds is the response-time SLA the paper uses when reporting
@@ -384,6 +393,7 @@ func (m *Metrics) record(region string, o cloudsim.Outcome) {
 	rm.resp.Add(rt)
 	m.global.completed++
 	m.global.resp.Add(rt)
+	m.respHist.Observe(rt)
 	if rt > SLAThresholdSeconds {
 		rm.slaMiss++
 		m.global.slaMiss++
@@ -436,7 +446,13 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.global.timeouts += src.global.timeouts
 	m.global.slaMiss += src.global.slaMiss
 	m.global.resp.Merge(src.global.resp)
+	m.respHist.Merge(src.respHist)
 }
+
+// ResponseHistogram returns the bucketed response-time distribution over all
+// individually simulated clients (ResponseTimeBuckets bounds, seconds).  The
+// caller must treat it as read-only.
+func (m *Metrics) ResponseHistogram() *stats.Histogram { return m.respHist }
 
 // Issued returns the number of requests issued by clients of the region ("" =
 // global).
