@@ -7,7 +7,7 @@
 #   make bench-smoke # one cheap iteration of the Figure 3 benchmarks
 #   make bench-json  # record BENCH_ci.json and gate it against BENCH_baseline.json
 #   make lint        # golangci-lint (falls back to go vet when not installed)
-#   make docs        # regenerate docs/SCENARIOS.md + docs/METRICS.md from the registries
+#   make docs        # regenerate docs/SCENARIOS.md + docs/METRICS.md + docs/TRACING.md from the registries
 #   make docs-check  # fail when generated docs are stale or links are dead
 #   make metrics-lint # enforce Prometheus naming conventions on every family
 
@@ -79,19 +79,21 @@ bench-baseline:
 	cat BENCH_raw.txt
 	$(GO) run ./cmd/benchjson parse -in BENCH_raw.txt -out BENCH_baseline.json
 
-# docs/SCENARIOS.md and docs/METRICS.md are generated from the scenario and
-# instrument registries; the committed copies are kept honest by
-# TestScenariosDocCurrent and TestMetricsDocCurrent (and the CI docs job),
+# docs/SCENARIOS.md, docs/METRICS.md and docs/TRACING.md are generated from
+# the scenario registry, the instrument registry and the span catalogue; the
+# committed copies are kept honest by TestScenariosDocCurrent,
+# TestMetricsDocCurrent and TestTracingDocCurrent (and the CI docs job),
 # which fail with "run make docs" whenever a registry and its document
 # diverge.
 docs:
 	$(GO) run ./cmd/acmsim -list-scenarios -markdown > docs/SCENARIOS.md
 	$(GO) run ./cmd/acmsim -list-metrics > docs/METRICS.md
+	$(GO) run ./cmd/acmsim -list-tracing > docs/TRACING.md
 
 # docs-check is what the CI docs job runs: the staleness tests for generated
 # docs plus the relative-link checker over every tracked markdown document.
 docs-check:
-	$(GO) test ./internal/experiment/ -run 'TestScenariosDoc|TestScenariosMarkdown|TestMetricsDoc|TestMetricsMarkdown'
+	$(GO) test ./internal/experiment/ -run 'TestScenariosDoc|TestScenariosMarkdown|TestMetricsDoc|TestMetricsMarkdown|TestTracingDoc|TestTracingMarkdown'
 	$(GO) run ./cmd/mdcheck README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md
 
 # metrics-lint walks every instrument family a deployment can register and

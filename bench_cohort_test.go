@@ -82,7 +82,9 @@ func BenchmarkCohortPopulation_1e6(b *testing.B) { runCohortPopulationBench(b, 1
 
 // runMegaclientsScenarioBench runs one registered scenario per iteration and
 // reports the effective-client throughput and per-client allocation extras.
-func runMegaclientsScenarioBench(b *testing.B, name string) {
+// A non-nil mutate edits the built scenario before the runs (the traced
+// variant switches on the span layer this way).
+func runMegaclientsScenarioBench(b *testing.B, name string, mutate func(*experiment.Scenario)) {
 	b.Helper()
 	np, err := experiment.PolicyByKey("policy2")
 	if err != nil {
@@ -91,6 +93,9 @@ func runMegaclientsScenarioBench(b *testing.B, name string) {
 	sc, err := experiment.BuildScenario(name, 42)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(&sc)
 	}
 	eff := sc.EffectiveClients()
 	b.ReportAllocs()
@@ -120,10 +125,22 @@ func runMegaclientsScenarioBench(b *testing.B, name string) {
 // population (megaregion-eventloop), so the pair recorded in
 // BENCH_baseline.json is the compression claim itself: 500x the effective
 // clients within 2x the ns/op and the same order of B/op.
-func BenchmarkMegaclients(b *testing.B) { runMegaclientsScenarioBench(b, "megaclients") }
+func BenchmarkMegaclients(b *testing.B) { runMegaclientsScenarioBench(b, "megaclients", nil) }
 
 // BenchmarkMegaclientsBaseline_2e3 is the individually simulated reference
 // population on the identical deployment (see BenchmarkMegaclients).
 func BenchmarkMegaclientsBaseline_2e3(b *testing.B) {
-	runMegaclientsScenarioBench(b, "megaregion-eventloop")
+	runMegaclientsScenarioBench(b, "megaregion-eventloop", nil)
+}
+
+// BenchmarkMegaclients_Traced is BenchmarkMegaclients with the span layer
+// sampling 1% of requests, so the recorded pair prices the observability
+// plane at the compression's scale: the delta against the untraced run is
+// the whole cost of tracing — sampling decisions on every issue, span
+// appends along the sampled paths and trace collection — under the 20%/25%
+// regression gate like everything else.
+func BenchmarkMegaclients_Traced(b *testing.B) {
+	runMegaclientsScenarioBench(b, "megaclients", func(sc *experiment.Scenario) {
+		sc.TraceSampleFraction = 0.01
+	})
 }

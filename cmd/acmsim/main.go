@@ -15,6 +15,8 @@
 //	acmsim -list-scenarios                         # list the registry
 //	acmsim -list-scenarios -markdown               # emit docs/SCENARIOS.md
 //	acmsim -list-metrics                           # emit docs/METRICS.md
+//	acmsim -list-tracing                           # emit docs/TRACING.md
+//	acmsim -scenario global-traced -trace-out run.json   # Perfetto-loadable trace
 //	acmsim -dump-config scenario.json      # write the assembled scenario
 //	acmsim -config scenario.json           # run a scenario from a JSON file
 //	acmsim -scenarios figure3,figure4 -betas 0.25,0.75 -reps 10 \
@@ -30,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/acm"
 	"repro/internal/backend"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -62,12 +66,15 @@ func main() {
 		rttSpec     = flag.String("rtt", "", "per-stream round-trip matrix for latency-aware routing, milliseconds per deployed region: \"global=60,120;americas=80,140\" (overrides the scenario's own RTT rows)")
 		mix         = flag.String("mix", "browsing", "TPC-W mix: browsing, shopping or ordering")
 		csvPath     = flag.String("csv", "", "write all recorded series to this CSV file")
+		traceOut    = flag.String("trace-out", "", "write the sampled request traces and the engine flight recorder as Chrome trace-event JSON to this file (load in ui.perfetto.dev or chrome://tracing; requires tracing enabled)")
+		traceSample = flag.Float64("trace-sample", -1, "sample this fraction of requests into the span layer, in [0, 1] (-1 keeps each scenario's own setting; the sample is a pure function of the seed, so results are byte-identical with tracing on or off)")
 		metricsAddr = flag.String("metrics-addr", "", "serve the live instrument registry in Prometheus text format at /metrics on this address (e.g. :9090) while the run executes")
 		config      = flag.String("config", "", "run the scenario described by this JSON file instead of the region/client flags")
 		scenario    = flag.String("scenario", "", "run a registered scenario by name instead of the region/client flags (see -list-scenarios)")
 		list        = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
 		markdown    = flag.Bool("markdown", false, "with -list-scenarios: print the full scenario catalogue as markdown (the source of docs/SCENARIOS.md; see `make docs`)")
 		listMetrics = flag.Bool("list-metrics", false, "print the instrument catalogue as markdown (the source of docs/METRICS.md; see `make docs`) and exit")
+		listTracing = flag.Bool("list-tracing", false, "print the tracing guide as markdown (the source of docs/TRACING.md; see `make docs`) and exit")
 		dumpPath    = flag.String("dump-config", "", "write the assembled scenario as JSON to this file and exit")
 	)
 	// Matrix-sweep mode (experiment.Matrix): mutually exclusive with the
@@ -106,6 +113,10 @@ func main() {
 		fmt.Print(md)
 		return
 	}
+	if *listTracing {
+		fmt.Print(experiment.TracingMarkdown())
+		return
+	}
 
 	// Track which flags the user actually set, so a registered scenario keeps
 	// its own horizon/beta/interval/predictor unless explicitly overridden.
@@ -123,7 +134,7 @@ func main() {
 		for _, f := range []string{"scenario", "config", "dump-config", "regions", "clients", "mix",
 			"cohort-clients", "tracer-fraction",
 			"policy", "predictor", "beta", "interval", "shards", "tick-workers", "event-workers",
-			"gslb-policy", "rtt", "csv", "metrics-addr"} {
+			"gslb-policy", "rtt", "csv", "metrics-addr", "trace-out", "trace-sample"} {
 			if explicit[f] {
 				fmt.Fprintf(os.Stderr, "acmsim: -%s does not apply to sweeps (-scenarios); see -policies/-betas/-sweep-csv\n", f)
 				os.Exit(1)
@@ -142,7 +153,7 @@ func main() {
 		}
 	}
 
-	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *rttSpec, *csvPath, *metricsAddr, *config, *scenario, *dumpPath, explicit); err != nil {
+	if err := run(*regions, *clients, *cohorts, *tracerFr, *policy, *predictor, *mix, *hours, *seed, *beta, *interval, *shards, *tickWork, *eventWork, *gslbPol, *rttSpec, *csvPath, *metricsAddr, *traceOut, *traceSample, *config, *scenario, *dumpPath, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "acmsim:", err)
 		os.Exit(1)
 	}
@@ -163,7 +174,7 @@ func runMatrix(sweep *cli.SweepFlags, seed uint64, hours float64, explicit map[s
 	return experiment.RunSweepAndEmit(context.Background(), m, sweep.Options(), *sweep.Journal, *sweep.CSV, *sweep.JSON, os.Stdout)
 }
 
-func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, rttSpec, csvPath, metricsAddr, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
+func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, policyKey, predictor, mixName string, hours float64, seed uint64, beta, intervalS float64, shards, tickWorkers, eventWorkers int, gslbPolicy, rttSpec, csvPath, metricsAddr, traceOut string, traceSample float64, configPath, scenarioName, dumpPath string, explicit map[string]bool) error {
 	np, err := experiment.PolicyByKey(policyKey)
 	if err != nil {
 		return err
@@ -260,6 +271,18 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 			Predictor:       mode,
 		}
 	}
+	// -trace-sample overrides the span layer's sampling fraction the same way
+	// -tracer-fraction overrides cohort tracers: -1 (the default) keeps the
+	// scenario's own setting, anything outside [0, 1] is rejected by name.
+	if explicit["trace-sample"] {
+		if traceSample < 0 || traceSample > 1 {
+			return fmt.Errorf("-trace-sample must be in [0, 1], got %v", traceSample)
+		}
+		scenario.TraceSampleFraction = traceSample
+	}
+	if traceOut != "" && scenario.TraceSampleFraction <= 0 {
+		return fmt.Errorf("-trace-out: tracing is disabled for scenario %q (set -trace-sample or run a traced scenario such as global-traced)", scenario.Name)
+	}
 	// -tracer-fraction overrides how much of every cohort population is
 	// simulated individually; it is a tuning knob like -beta, so it applies
 	// to loaded and registered scenarios too.  -1 (the default) keeps the
@@ -351,7 +374,14 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 
 	// -metrics-addr: serve the live registry for the duration of the run.
 	// The registry is updated at every control-era barrier, so a scrape
-	// mid-run sees the last completed era's merged state.
+	// mid-run sees the last completed era's merged state.  Serve runs in its
+	// own goroutine; its exit value lands in metricsErr so a listener that
+	// dies mid-run fails the command instead of silently dropping scrapes,
+	// and shutdown drains in-flight scrapes rather than slamming the socket.
+	var (
+		metricsSrv *http.Server
+		metricsErr chan error
+	)
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
@@ -359,9 +389,9 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(b.Registry()))
-		srv := &http.Server{Handler: mux}
-		go srv.Serve(ln)
-		defer srv.Close()
+		metricsSrv = &http.Server{Handler: mux}
+		metricsErr = make(chan error, 1)
+		go func() { metricsErr <- metricsSrv.Serve(ln) }()
 		fmt.Printf("serving Prometheus metrics on http://%s/metrics\n", ln.Addr())
 	}
 
@@ -375,8 +405,47 @@ func run(regionSpec, clientSpec, cohortSpec string, tracerFraction float64, poli
 	if err := b.Run(scenario.Horizon); err != nil {
 		return err
 	}
+	if metricsSrv != nil {
+		// Graceful shutdown first, then collect Serve's exit value — a
+		// listener that failed mid-run left its error in the channel, and
+		// Shutdown on an already-dead server returns nil, so both paths
+		// surface the real cause.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := metricsSrv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: shutting down: %w", err)
+		}
+		if err := <-metricsErr; err != nil && err != http.ErrServerClosed {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+	}
 
 	printReport(b)
+	if tr, fr := experiment.TraceArtifacts(b); tr != nil {
+		fmt.Printf("request tracing: %d sampled traces (fraction %g)\n", tr.Len(), tr.SampleFraction())
+		fmt.Println("critical-path breakdown over sampled traces:")
+		fmt.Print(tracing.BreakdownTable(tr.Traces()))
+		if fr != nil {
+			fmt.Println("engine flight recorder (per-lane epoch utilization, sim-time):")
+			fmt.Print(fr.Table())
+		}
+		fmt.Println()
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			werr := tracing.WriteChrome(f, tr.Traces(), fr)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("-trace-out: %w", werr)
+			}
+			fmt.Println("wrote Chrome trace to", traceOut, "(load in ui.perfetto.dev or chrome://tracing)")
+		}
+	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {

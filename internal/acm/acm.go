@@ -23,6 +23,7 @@ import (
 	"repro/internal/pcam"
 	"repro/internal/simclock"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -177,6 +178,21 @@ type Config struct {
 	// PartitionFaults scripts replica-set splits of the gossip plane on the
 	// control timeline (see PartitionFault).  Requires GossipReplicas >= 2.
 	PartitionFaults []PartitionFault
+	// TraceSampleFraction enables the deterministic request-span layer
+	// (internal/tracing): this fraction of every client stream's requests is
+	// sampled into per-request traces spanning issue, routing, mailbox hops,
+	// queueing, service and completion.  The sampling decision and all span
+	// IDs are pure functions of (Seed, stream, request ID), so the trace set
+	// is byte-identical for every EventWorkers value and tracing never
+	// perturbs the simulation (no engine RNG draws, no extra events).  Must
+	// lie in [0, 1]; zero disables tracing entirely.
+	TraceSampleFraction float64
+	// FlightRecorder enables the engine flight recorder: per-epoch per-shard
+	// busy/idle/mailbox-drain accounting in sim-time plus control-tick phase
+	// timings, recorded at epoch barriers on the control timeline.  Requires
+	// the sharded event loop (EventWorkers >= 1, or a GSLB deployment, which
+	// is always promoted onto it).
+	FlightRecorder bool
 }
 
 func (c Config) withDefaults() Config {
@@ -239,9 +255,11 @@ type Manager struct {
 	loop        *core.Loop
 	plan        *core.ForwardPlan
 	recorder    *trace.Recorder
-	models      map[string]*f2pm.Model // per instance type, when PredictorML
-	director    *gslb.Director         // non-nil when GSLB is enabled centrally
-	plane       *gossip.Plane          // non-nil when GossipReplicas > 0
+	models      map[string]*f2pm.Model   // per instance type, when PredictorML
+	director    *gslb.Director           // non-nil when GSLB is enabled centrally
+	plane       *gossip.Plane            // non-nil when GossipReplicas > 0
+	tracer      *tracing.Tracer          // non-nil when TraceSampleFraction > 0
+	flight      *simclock.FlightRecorder // non-nil when Config.FlightRecorder
 	arrivals    []*workload.VaryingOpenLoop
 	mm          *managerMetrics
 	stopProbe   func()
@@ -282,6 +300,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	if m.recorder == nil {
 		m.recorder = trace.NewRecorder()
+	}
+	// The span layer's seed stream is forked from the deployment seed, so
+	// trace IDs never collide with any engine or workload RNG stream.
+	if cfg.TraceSampleFraction > 0 {
+		m.tracer = tracing.NewTracer(simclock.DeriveSeed(cfg.Seed^hashString("tracing")), cfg.TraceSampleFraction)
 	}
 
 	// Train per-instance-type prediction models first if requested.
@@ -329,6 +352,7 @@ func NewManager(cfg Config) (*Manager, error) {
 				ThinkTimeMean: cfg.ThinkTime,
 				Timeout:       cfg.RequestTimeout,
 				RampUp:        cfg.ControlInterval / 2,
+				Tracer:        m.tracer,
 			}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+101), m.entryDispatcher(region.Name()), m.metrics)
 			m.populations[region.Name()] = pop
 
@@ -340,6 +364,7 @@ func NewManager(cfg Config) (*Manager, error) {
 					ThinkTimeMean: cfg.ThinkTime,
 					Timeout:       cfg.RequestTimeout,
 					RampUp:        cfg.ControlInterval / 2,
+					Tracer:        m.tracer,
 				}, simclock.NewRNG(cfg.Seed+uint64(i)*7919+271), m.entryDispatcher(region.Name()), m.metrics)
 				m.surges[region.Name()] = surge
 				m.surgeAt[region.Name()] = rs.SurgeAt
@@ -410,6 +435,16 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.EventWorkers > 0 {
 		m.el = newEventLoop(m)
 		m.eng = m.el.se.Control()
+		if cfg.FlightRecorder {
+			// The recorder is written only at epoch barriers and control
+			// ticks, so attaching it never adds events or synchronisation to
+			// the shard loops.
+			m.flight = simclock.NewFlightRecorder(m.el.total)
+			m.el.se.SetFlightRecorder(m.flight)
+			for _, vmc := range m.vmcs {
+				vmc.SetFlightRecorder(m.flight)
+			}
+		}
 	}
 	return m, nil
 }
@@ -502,6 +537,11 @@ func (m *Manager) entryDispatcher(regionName string) workload.Dispatcher {
 			return
 		}
 		oneWay := simclock.Duration(latMs / 1000)
+		if req.Trace != nil {
+			// Guarded so the detail string is only built for sampled requests.
+			req.Trace.Span(tracing.SpanForward, eng.Now(), oneWay,
+				fmt.Sprintf("%s->%s", regionName, dest))
+		}
 		// The response travels back over the overlay as well: shift the
 		// client-visible completion by the return latency.
 		if prev := req.OnDone; prev != nil {
@@ -559,6 +599,7 @@ func (m *Manager) buildSerialCohorts() {
 			RampUp:         m.cfg.ControlInterval / 2,
 			IDPrefix:       name + "-tracer",
 			Seed:           simclock.DeriveSeed(m.cfg.Seed^hashString("cohort"), uint64(i)),
+			Tracer:         m.tracer,
 		}, m.entryDispatcher(name), m.metrics))
 	}
 }
@@ -566,6 +607,14 @@ func (m *Manager) buildSerialCohorts() {
 // Engine exposes the simulation engine (tests and examples schedule fault
 // injection through it).
 func (m *Manager) Engine() *simclock.Engine { return m.eng }
+
+// Tracer returns the deployment's request-span tracer (nil unless
+// TraceSampleFraction > 0).
+func (m *Manager) Tracer() *tracing.Tracer { return m.tracer }
+
+// FlightRecorder returns the engine flight recorder (nil unless
+// Config.FlightRecorder is set on a sharded deployment).
+func (m *Manager) FlightRecorder() *simclock.FlightRecorder { return m.flight }
 
 // Recorder returns the experiment time-series recorder.
 func (m *Manager) Recorder() *trace.Recorder { return m.recorder }

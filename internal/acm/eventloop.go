@@ -32,6 +32,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/gslb"
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -197,6 +198,7 @@ func (el *eventLoop) buildGlobalTraffic() {
 					ThinkTimeMean: m.cfg.ThinkTime,
 					Timeout:       m.cfg.RequestTimeout,
 					RampUp:        m.cfg.ControlInterval / 2,
+					Tracer:        m.tracer,
 				}, simclock.NewStreamRNG(seedBase, uint64(g)), el.gslbDisp[g], el.metrics[g])
 			}
 		}
@@ -216,6 +218,7 @@ func (el *eventLoop) buildGlobalTraffic() {
 					Timeout:        m.cfg.RequestTimeout,
 					RampUp:         m.cfg.ControlInterval / 2,
 					Seed:           simclock.DeriveSeed(seedBase, uint64(g)),
+					Tracer:         m.tracer,
 				}, el.gslbDisp[g], el.metrics[g])
 			}
 		}
@@ -240,6 +243,7 @@ func (el *eventLoop) buildGlobalTraffic() {
 			Region: a.Name,
 			Rate:   a.Rate,
 			Mix:    a.Mix,
+			Tracer: m.tracer,
 		}, simclock.NewStreamRNG(m.cfg.Seed^hashString("arrivals"), uint64(i)), target, el.metrics[lane])
 		if err != nil {
 			// The rate spec was validated in NewManager; reaching this means
@@ -282,6 +286,11 @@ func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 		}
 		ri := el.gslbTables[g].RouteStream(stream, rng, &rr)
 		el.gslbRouted[g][ri]++
+		if req.Trace != nil {
+			// Guarded so the detail string is only built for sampled requests.
+			req.Trace.Event(tracing.EventGSLBRoute, eng.Now(),
+				fmt.Sprintf("region=%s lane=%d", m.regionNames[ri], g))
+		}
 		dvmc := m.vmcs[m.regionNames[ri]]
 		ds := 0
 		if n := len(el.engines[ri]); n > 1 {
@@ -295,6 +304,11 @@ func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 				return
 			}
 			req.RehomeOnDone(el.se, g, nil)
+			if req.Trace != nil {
+				// Guarded so the detail string is only built for sampled requests.
+				req.Trace.Event(tracing.EventMailbox, eng.Now(),
+					fmt.Sprintf("lane=%d->%d", g, dg))
+			}
 			el.se.Post(eng, dg, func(dst *simclock.Engine) { dvmc.SubmitShard(dst, ds, req) })
 			return
 		}
@@ -305,9 +319,20 @@ func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 		// plan-forwarding dispatcher's transform does.
 		rttMs := el.laneRTT[g][stream][ri]
 		oneWay := simclock.Duration(rttMs / 2000)
+		if req.Trace != nil {
+			// Guarded so the detail string is only built for sampled requests.
+			req.Trace.Span(tracing.SpanRTTSend, eng.Now(), oneWay,
+				fmt.Sprintf("region=%s rtt=%gms", m.regionNames[ri], rttMs))
+		}
 		weight := req.Weight()
 		prev := req.OnDone
 		req.OnDone = func(o cloudsim.Outcome) {
+			// The return-leg span starts at the server-side completion; the
+			// shifted End below is what the client sees.  The wrap runs before
+			// the client's seal, so the span still lands inside the trace.
+			if req.Trace != nil {
+				req.Trace.Span(tracing.SpanRTTReturn, o.End, oneWay, "")
+			}
 			o.End = o.End.Add(oneWay)
 			el.gslbObs[g] = append(el.gslbObs[g], gslbObs{stream: stream, region: ri, rttMs: rttMs, weight: weight})
 			if prev != nil {
@@ -323,6 +348,11 @@ func (el *eventLoop) gslbDispatcher(g int) workload.Dispatcher {
 			return
 		}
 		req.RehomeOnDone(el.se, g, nil)
+		if req.Trace != nil {
+			// Guarded so the detail string is only built for sampled requests.
+			req.Trace.Event(tracing.EventMailbox, eng.Now(),
+				fmt.Sprintf("lane=%d->%d", g, dg))
+		}
 		sendAt := eng.Now().Add(oneWay)
 		el.se.Post(eng, dg, func(dst *simclock.Engine) {
 			if remaining := sendAt.Sub(dst.Now()); remaining > 0 {
@@ -433,6 +463,7 @@ func (el *eventLoop) buildPopulations(r int, rs RegionSetup, clients int, seedBa
 			ThinkTimeMean: m.cfg.ThinkTime,
 			Timeout:       m.cfg.RequestTimeout,
 			RampUp:        m.cfg.ControlInterval / 2,
+			Tracer:        m.tracer,
 		}, simclock.NewStreamRNG(seedBase, uint64(s)), el.dispatcher(r, s), el.metrics[el.base[r]+s])
 	}
 	return out
@@ -459,6 +490,7 @@ func (el *eventLoop) buildCohorts(r int, rs RegionSetup) []*workload.CohortPopul
 			Timeout:        m.cfg.RequestTimeout,
 			RampUp:         m.cfg.ControlInterval / 2,
 			Seed:           simclock.DeriveSeed(seedBase, uint64(r), uint64(s)),
+			Tracer:         m.tracer,
 		}, el.dispatcher(r, s), el.metrics[el.base[r]+s])
 	}
 	return out
@@ -503,6 +535,13 @@ func (el *eventLoop) dispatcher(r, s int) workload.Dispatcher {
 		}
 		dg := el.base[dr] + ds
 		dvmc := m.vmcs[dest]
+		if req.Trace != nil {
+			// Guarded so the detail strings are only built for sampled requests.
+			req.Trace.Span(tracing.SpanForward, eng.Now(), oneWay,
+				fmt.Sprintf("%s->%s", regionName, dest))
+			req.Trace.Event(tracing.EventMailbox, eng.Now(),
+				fmt.Sprintf("lane=%d->%d", g, dg))
+		}
 
 		// The request will complete on a foreign shard: re-home the
 		// completion as a mailbox post back to this shard (where the

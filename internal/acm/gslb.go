@@ -116,6 +116,12 @@ func (m *Manager) validateGlobal() error {
 	if cfg.TracerFraction < 0 || cfg.TracerFraction > 1 {
 		return validate.Fieldf("acm", "TracerFraction", "must be in [0, 1], got %v", cfg.TracerFraction)
 	}
+	if f := cfg.TraceSampleFraction; math.IsNaN(f) || f < 0 || f > 1 {
+		return validate.Fieldf("acm", "TraceSampleFraction", "must be in [0, 1], got %v", f)
+	}
+	if cfg.FlightRecorder && cfg.EventWorkers == 0 {
+		return validate.Fieldf("acm", "FlightRecorder", "requires the sharded event loop (set EventWorkers >= 1)")
+	}
 	for i, rs := range cfg.Regions {
 		if rs.CohortClients < 0 {
 			return validate.Fieldf("acm", fmt.Sprintf("Regions[%d].CohortClients", i), "(%s) must be >= 0, got %d", rs.Region.Name, rs.CohortClients)
@@ -432,6 +438,7 @@ func (m *Manager) buildSerialArrivals() error {
 			Region: a.Name,
 			Rate:   a.Rate,
 			Mix:    a.Mix,
+			Tracer: m.tracer,
 		}, simclock.NewStreamRNG(m.cfg.Seed^hashString("arrivals"), uint64(i)), m.entryDispatcher(a.Region), m.metrics)
 		if err != nil {
 			return fmt.Errorf("acm: arrival stream %q: %w", a.Name, err)

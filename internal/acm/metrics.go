@@ -15,6 +15,8 @@
 package acm
 
 import (
+	"fmt"
+
 	"repro/internal/gslb"
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -147,6 +149,15 @@ func (m *Manager) publishMetrics(met *workload.Metrics, smoothed, fractions []fl
 	}
 	hist := met.ResponseHistogram()
 	mm.respHist.SetCumulative(hist.Counts(), hist.Sum(), hist.Count())
+	// Link the span layer into the exposition: each bucket carries the trace
+	// ID of its deterministically picked exemplar (latest completion wins, so
+	// the pick is merge-order independent).  With tracing off no exemplar is
+	// ever valid and the exposition bytes are exactly the pre-tracing ones.
+	for i, ex := range met.ResponseExemplars() {
+		if ex.Valid {
+			mm.respHist.SetExemplar(i, fmt.Sprintf("%016x", ex.TraceID), ex.Value, ex.At.Seconds())
+		}
+	}
 
 	for i, r := range m.regions {
 		rs := r.Stats()

@@ -93,3 +93,59 @@ func TestParseRTT(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRTTSeparatorTolerance: shell-quoted specs routinely pick up a
+// trailing semicolon or blank interior rows; both must parse as if absent
+// rather than turning into phantom streams.
+func TestParseRTTSeparatorTolerance(t *testing.T) {
+	for _, spec := range []string{
+		"g=1,2;",
+		";g=1,2",
+		"g=1,2 ; ; ",
+	} {
+		rtt, err := ParseRTT(spec, 2)
+		if err != nil {
+			t.Fatalf("ParseRTT(%q): %v", spec, err)
+		}
+		if len(rtt) != 1 || rtt["g"][0] != 1 || rtt["g"][1] != 2 {
+			t.Fatalf("ParseRTT(%q) = %v, want one g row", spec, rtt)
+		}
+	}
+}
+
+// TestParseRTTEdgeCases: malformed labels and cells each name the -rtt flag
+// and the offending stream, so the CLI error is actionable without reading
+// the parser.
+func TestParseRTTEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		regions int
+		want    string
+	}{
+		{"empty label", " =1,2", 2, "is not stream=ms1,ms2,..."},
+		{"empty value list", "g=", 2, `-rtt: stream "g" has 1 entries, want one per deployed region (2)`},
+		{"lone row short", "g=1", 2, `-rtt: stream "g" has 1 entries, want one per deployed region (2)`},
+		{"blank cell", "g=1,,3", 3, `-rtt: stream "g" entry 1:`},
+		{"whitespace cell", "g=1, ,3", 3, `-rtt: stream "g" entry 1:`},
+		{"non-numeric tail", "g=1,2;h=3,4ms", 2, `-rtt: stream "h" entry 1:`},
+		{"duplicate after trim", " g =1,2; g=3,4", 2, `-rtt: stream "g" listed twice`},
+		{"duplicate with trailing sep", "g=1,2;g=3,4;", 2, `-rtt: stream "g" listed twice`},
+		{"only separators", ";;;", 2, "-rtt: no rows in"},
+		{"empty spec", "", 2, "-rtt: no rows in"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRTT(c.spec, c.regions)
+			if err == nil {
+				t.Fatalf("ParseRTT(%q) succeeded, want error with %q", c.spec, c.want)
+			}
+			if !strings.HasPrefix(err.Error(), "-rtt: ") {
+				t.Fatalf("ParseRTT(%q) error %q does not name the -rtt flag", c.spec, err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("ParseRTT(%q) error %q, want substring %q", c.spec, err, c.want)
+			}
+		})
+	}
+}

@@ -1,7 +1,10 @@
 package cloudsim
 
 import (
+	"fmt"
+
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 )
 
 // Request is one client interaction to be served by a VM hosting the server
@@ -33,6 +36,12 @@ type Request struct {
 	// counters by the batch size.  Zero or one means an ordinary individual
 	// request.
 	Batch int
+	// Trace is the request's span log when the deployment's tracer sampled
+	// it, nil otherwise.  All RequestTrace methods are nil-receiver safe, so
+	// instrumentation points annotate unconditionally; the sampling decision
+	// is a pure derived-seed function of (stream, ID), so whether Trace is
+	// set never depends on engine RNG state or worker interleavings.
+	Trace *tracing.RequestTrace
 	// OnDone, if non-nil, is invoked exactly once when the request completes
 	// (successfully or not).
 	OnDone func(Outcome)
@@ -127,6 +136,12 @@ func (r *Request) RehomeOnDone(se *simclock.ShardedEngine, home int, transform f
 		if se.LaneOf(ceng) == home {
 			orig(o)
 			return
+		}
+		if r.Trace != nil {
+			// Guarded so the detail string is only built for sampled
+			// requests — the rehome path runs for every forwarded request.
+			r.Trace.Event(tracing.EventRehome, ceng.Now(),
+				fmt.Sprintf("lane=%d home=%d", se.LaneOf(ceng), home))
 		}
 		se.Post(ceng, home, func(*simclock.Engine) { orig(o) })
 	}

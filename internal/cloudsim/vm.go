@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 )
 
 // VMState is the lifecycle state of a virtual machine, mirroring the states
@@ -317,6 +318,11 @@ func (vm *VM) Dispatch(eng *simclock.Engine, req *Request) bool {
 		vm.dropped += req.Weight()
 		req.finish(eng, Outcome{Request: req, VM: vm.cfg.ID, Start: eng.Now(), End: eng.Now(), Dropped: true})
 		return false
+	}
+	if req.Trace != nil {
+		// Guarded so the detail string is only built for sampled requests.
+		req.Trace.Event(tracing.EventVMEnqueue, eng.Now(),
+			fmt.Sprintf("vm=%s depth=%d", vm.cfg.ID, vm.QueueLength()))
 	}
 	vm.queue = append(vm.queue, req)
 	vm.tryStartService(eng)

@@ -10,8 +10,10 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/gossip"
+	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -76,15 +78,36 @@ type Result struct {
 // Run executes the scenario under the given policy — through the backend
 // seam — and collects the result.
 func Run(sc Scenario, np NamedPolicy) (*Result, error) {
+	res, _, err := RunBackend(sc, np)
+	return res, err
+}
+
+// RunBackend is Run for callers that also need the finished backend: the
+// post-run surfaces the summary does not carry (the span tracer and the
+// flight recorder for trace export, the registry for a final scrape) stay
+// reachable through it.
+func RunBackend(sc Scenario, np NamedPolicy) (*Result, backend.Backend, error) {
 	sc = sc.withDefaults()
 	b, err := NewBackend(sc, np)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := b.Run(sc.Horizon); err != nil {
-		return nil, fmt.Errorf("experiment: running %s/%s: %w", sc.Name, np.Key, err)
+		return nil, nil, fmt.Errorf("experiment: running %s/%s: %w", sc.Name, np.Key, err)
 	}
-	return summarize(sc, np, b), nil
+	return summarize(sc, np, b), b, nil
+}
+
+// TraceArtifacts returns the span tracer and the flight recorder of a
+// finished backend, for Chrome-trace export and utilization reports.  Both
+// are nil unless the backend is the simulator with the corresponding plane
+// enabled (TraceSampleFraction > 0, FlightRecorder true).
+func TraceArtifacts(b backend.Backend) (*tracing.Tracer, *simclock.FlightRecorder) {
+	sim, ok := b.(*backend.Simulated)
+	if !ok {
+		return nil, nil
+	}
+	return sim.Manager().Tracer(), sim.Manager().FlightRecorder()
 }
 
 // RunAllPolicies runs the scenario under the paper's three policies — one

@@ -101,6 +101,18 @@ type Scenario struct {
 	// PartitionFaults scripts replica-set splits of the gossip plane —
 	// the split-brain stimulus of the global-partition scenario.
 	PartitionFaults []acm.PartitionFault
+	// TraceSampleFraction enables the deterministic request-span layer: this
+	// fraction of every client stream's requests is sampled into per-request
+	// traces (issue, routing, mailbox hops, queueing, service, completion)
+	// exportable as Chrome trace-event JSON.  Sampling is a pure function of
+	// (Seed, stream, request ID), so the trace set is byte-identical for
+	// every EventWorkers value and never perturbs the simulation.  Zero
+	// disables tracing.
+	TraceSampleFraction float64
+	// FlightRecorder enables the engine flight recorder: per-epoch per-shard
+	// busy/idle/mailbox-drain accounting plus control-tick phase timings.
+	// Requires the sharded event loop (EventWorkers >= 1 or a GSLB config).
+	FlightRecorder bool
 	// TailFraction is the fraction of the run treated as steady state when
 	// judging convergence and oscillation (0.4 when zero).
 	TailFraction float64
@@ -175,6 +187,9 @@ func (s Scenario) ManagerConfig(p core.Policy) acm.Config {
 		GossipDelay:     s.GossipDelay,
 		GossipLoss:      s.GossipLoss,
 		PartitionFaults: s.PartitionFaults,
+
+		TraceSampleFraction: s.TraceSampleFraction,
+		FlightRecorder:      s.FlightRecorder,
 	}
 }
 
@@ -625,6 +640,24 @@ func GlobalCableCutScenario(seed uint64) Scenario {
 	s.LinkFaults = []acm.LinkFault{
 		{Stream: "americas", Region: "region1", At: 12 * simclock.Minute, Factor: 2},
 	}
+	return s.withDefaults()
+}
+
+// GlobalTracedScenario is GlobalLatencyScenario with the observability plane
+// switched on: every region runs two engine shards (so routing crosses lanes
+// and shard hops appear in traces), 2% of every stream's requests are sampled
+// into the span layer, and the flight recorder keeps per-epoch per-shard
+// utilization.  The golden pins the exported Chrome trace bytes across
+// EventWorkers {0, 1, 4, GOMAXPROCS}: tracing rides the deterministic request
+// path, so the traces — not just the summary — are part of the byte contract.
+func GlobalTracedScenario(seed uint64) Scenario {
+	s := GlobalLatencyScenario(seed)
+	s.Name = "global-traced"
+	for i := range s.Regions {
+		s.Regions[i].Region.Shards = 2
+	}
+	s.TraceSampleFraction = 0.02
+	s.FlightRecorder = true
 	return s.withDefaults()
 }
 

@@ -93,6 +93,15 @@ type Desc struct {
 	Buckets []float64 // histogram upper bounds (without +Inf); nil otherwise
 }
 
+// exemplar is one trace-linked observation attached to a histogram bucket,
+// rendered as an OpenMetrics-style exemplar suffix on the bucket line.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64
+	set     bool
+}
+
 // child is one labelled sample of a family.
 type child struct {
 	labelValues []string
@@ -100,6 +109,7 @@ type child struct {
 	counts      []uint64 // histogram: per-bin counts, last bin is +Inf
 	sum         float64
 	count       uint64
+	exemplars   []exemplar // histogram: per-bin exemplars; nil until one is set
 }
 
 // family is one registered metric family and its labelled children.
@@ -290,6 +300,25 @@ func (h *Histogram) SetCumulative(counts []uint64, sum float64, count uint64, la
 	r.mu.Unlock()
 }
 
+// SetExemplar attaches a trace-linked exemplar to one bucket of the labelled
+// sample: bucket indexes the per-bin counts (len(buckets) is the +Inf bin),
+// value is the observed value and ts its sim-time timestamp in seconds.  The
+// exemplar is rendered as an OpenMetrics-style `# {trace_id="..."} value ts`
+// suffix on that bucket's line; samples without exemplars render exactly as
+// before, so enabling tracing never perturbs the exposition of untraced runs.
+func (h *Histogram) SetExemplar(bucket int, traceID string, value, ts float64, labelValues ...string) {
+	r := h.fam.reg
+	r.mu.Lock()
+	ch := h.fam.get(labelValues)
+	if bucket >= 0 && bucket < len(ch.counts) {
+		if ch.exemplars == nil {
+			ch.exemplars = make([]exemplar, len(ch.counts))
+		}
+		ch.exemplars[bucket] = exemplar{traceID: traceID, value: value, ts: ts, set: true}
+	}
+	r.mu.Unlock()
+}
+
 // escapeLabelValue escapes a label value per the text format: backslash,
 // double-quote and newline.
 func escapeLabelValue(v string) string {
@@ -375,8 +404,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 				if i < len(f.buckets) {
 					le = formatValue(f.buckets[i])
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.opts.Name,
-					labelPairs(f.opts.Labels, c.labelValues, "le", le), cum); err != nil {
+				suffix := ""
+				if i < len(c.exemplars) && c.exemplars[i].set {
+					ex := c.exemplars[i]
+					suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+						escapeLabelValue(ex.traceID), formatValue(ex.value), formatValue(ex.ts))
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.opts.Name,
+					labelPairs(f.opts.Labels, c.labelValues, "le", le), cum, suffix); err != nil {
 					return err
 				}
 			}

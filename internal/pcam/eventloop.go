@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 )
 
 // shardLB is the per-shard slice of the load balancer: its own round-robin
@@ -131,6 +132,11 @@ func (v *VMC) submitShard(eng *simclock.Engine, shard int, req *cloudsim.Request
 func (v *VMC) hopToShard(eng *simclock.Engine, next int, req *cloudsim.Request, hops int) {
 	if req.OnDoneCtx == nil {
 		req.RehomeOnDone(v.se, v.se.LaneOf(eng), nil)
+	}
+	if req.Trace != nil {
+		// Guarded so the detail string is only built for sampled requests.
+		req.Trace.Event(tracing.EventShardHop, eng.Now(),
+			fmt.Sprintf("region=%s shard=%d hops=%d", v.region.Name(), next, hops))
 	}
 	// next is a region shard index; the mailbox lane is the global index of
 	// that shard's sub-engine within the ShardedEngine.

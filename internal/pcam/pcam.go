@@ -221,6 +221,10 @@ type VMC struct {
 	shardEngines []*simclock.Engine
 	lbs          []shardLB
 
+	// flight, when set, receives the control tick's phase timings (sim-time
+	// instants with deterministic item counts) for the engine flight recorder.
+	flight *simclock.FlightRecorder
+
 	stats   Stats
 	started bool
 	stop    func()
@@ -295,6 +299,12 @@ func (v *VMC) RestoreTargetActive(n int) {
 	v.targetActive = n
 	v.targetForced = false
 }
+
+// SetFlightRecorder attaches the engine flight recorder: every control tick
+// then records its monitor and rejuvenation phases as sim-time instants with
+// deterministic item counts (never wall-clock measurements, which would break
+// byte-identical output across worker counts).
+func (v *VMC) SetFlightRecorder(fr *simclock.FlightRecorder) { v.flight = fr }
 
 // Region returns the managed region.
 func (v *VMC) Region() *cloudsim.Region { return v.region }
@@ -452,6 +462,7 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 	// Merge: fold the partials in shard-index order (floating-point addition
 	// is order-sensitive, so the fold order is part of the determinism
 	// contract) and publish the per-VM predictions.
+	rejBefore := v.stats.ProactiveRejuvenations
 	sum := 0.0
 	reportable := 0
 	respSum := 0.0
@@ -467,6 +478,9 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 		for _, p := range sc.preds {
 			v.predicted[p.vm.ID()] = p.rttf
 		}
+	}
+	if v.flight != nil && sampled > 0 {
+		v.flight.RecordPhase(now, v.region.Name()+"/vmc.monitor", uint64(sampled))
 	}
 	if sampled == 0 {
 		return
@@ -497,6 +511,12 @@ func (v *VMC) ControlTick(eng *simclock.Engine) {
 			if p.vm.Rejuvenate(v.engineForVM(eng, p.vm)) {
 				v.stats.ProactiveRejuvenations++
 			}
+		}
+	}
+
+	if v.flight != nil {
+		if rej := v.stats.ProactiveRejuvenations - rejBefore; rej > 0 {
+			v.flight.RecordPhase(now, v.region.Name()+"/vmc.rejuvenate", rej)
 		}
 	}
 

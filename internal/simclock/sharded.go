@@ -71,6 +71,11 @@ type ShardedEngine struct {
 	inShardPhase atomic.Bool
 
 	drainedPosts uint64
+
+	// flight, when set, records per-epoch per-shard accounting at each
+	// barrier (flight.go).  Reads and writes happen only in the barrier
+	// context, so the recorder needs no synchronisation.
+	flight *FlightRecorder
 }
 
 // NewShardedEngine builds n sub-engines with RNG streams derived from seed
@@ -123,6 +128,14 @@ func (se *ShardedEngine) Epoch() Duration { return se.epoch }
 
 // DrainedPosts returns the number of mailbox posts delivered so far.
 func (se *ShardedEngine) DrainedPosts() uint64 { return se.drainedPosts }
+
+// SetFlightRecorder attaches a flight recorder; Run then records every
+// epoch's per-shard fired/busy/idle accounting and every barrier's mailbox
+// deliveries into it.  Attach before Run; nil detaches.
+func (se *ShardedEngine) SetFlightRecorder(fr *FlightRecorder) { se.flight = fr }
+
+// FlightRecorder returns the attached flight recorder (nil when none).
+func (se *ShardedEngine) FlightRecorder() *FlightRecorder { return se.flight }
 
 // Fired returns the total number of events executed across the shards and
 // the control timeline.
@@ -278,6 +291,18 @@ func (se *ShardedEngine) Run(horizon Duration) error {
 		pool = newShardPool(se, workers)
 		defer pool.close()
 	}
+	// Flight-recorder scratch: cumulative counters sampled before each epoch
+	// so the barrier can record per-epoch deltas.
+	var prevFired []uint64
+	var prevDrained uint64
+	if se.flight != nil {
+		prevFired = make([]uint64, len(se.shards)+1)
+		for i, sh := range se.shards {
+			prevFired[i] = sh.Fired()
+		}
+		prevFired[len(se.shards)] = se.control.Fired()
+		prevDrained = se.drainedPosts
+	}
 	for se.now < h {
 		tEnd := se.now.Add(se.epoch)
 		if next, ok := se.control.NextEventTime(); ok && next < tEnd {
@@ -308,8 +333,21 @@ func (se *ShardedEngine) Run(horizon Duration) error {
 		if se.control.now < tEnd {
 			se.control.now = tEnd
 		}
+		epochStart := se.now
 		se.drain()
 		se.control.runEpoch(tEnd)
+		if se.flight != nil {
+			for i, sh := range se.shards {
+				se.flight.recordEpoch(i, epochStart, tEnd, sh.LastEventAt(), sh.Fired()-prevFired[i], 0)
+				prevFired[i] = sh.Fired()
+			}
+			ctl := len(se.shards)
+			se.flight.recordEpoch(ctl, epochStart, tEnd, se.control.LastEventAt(),
+				se.control.Fired()-prevFired[ctl], se.drainedPosts-prevDrained)
+			prevFired[ctl] = se.control.Fired()
+			prevDrained = se.drainedPosts
+			se.flight.epochDone()
+		}
 		se.now = tEnd
 	}
 	for _, sh := range se.shards {

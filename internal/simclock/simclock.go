@@ -138,6 +138,11 @@ type Engine struct {
 	horizon Time
 	stopped bool
 
+	// lastFiredAt is the timestamp of the most recently fired event — the
+	// flight recorder reads it at each epoch barrier to split the epoch into
+	// a busy prefix and an idle tail (sharded.go, flight.go).
+	lastFiredAt Time
+
 	// inParallelPhase is set while ParallelPhase (barrier.go) fans shard-local
 	// work out to goroutines; scheduling is rejected during that window so a
 	// handler that violates the shard-local contract fails loudly instead of
@@ -172,6 +177,10 @@ func (e *Engine) RNG() *RNG { return e.rng }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// LastEventAt returns the timestamp of the most recently fired event (zero
+// before any event has fired).
+func (e *Engine) LastEventAt() Time { return e.lastFiredAt }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled entries not yet drained).
@@ -263,6 +272,7 @@ func (e *Engine) runEpoch(end Time) {
 			continue
 		}
 		e.now = next.at
+		e.lastFiredAt = next.at
 		next.dead = true
 		next.ev.Fire(e)
 		e.fired++

@@ -1,0 +1,115 @@
+package tracing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The critical-path / queue-wait breakdown: where sampled requests spent
+// their time, phase by phase, aggregated over the collected traces.  Printed
+// in the acmsim report when tracing is enabled.
+
+// PhaseStats aggregates one span name over all traces.
+type PhaseStats struct {
+	Name  string
+	Count int
+	// Total, Mean, P95 and Max are in seconds.
+	Total, Mean, P95, Max float64
+	// Share is Total over the summed root response time — the phase's
+	// contribution to the critical path (phases overlap-free by
+	// construction except the RTT legs, which bracket the server side).
+	Share float64
+}
+
+// Breakdown computes per-phase statistics from traces in canonical order.
+// Annotated spans (rtt legs, forwards) are read from the event log; the VM
+// queue wait and service spans are synthesised from each trace's outcome.
+func Breakdown(traces []*RequestTrace) []PhaseStats {
+	samples := map[string][]float64{}
+	add := func(name string, seconds float64) {
+		if seconds < 0 {
+			return
+		}
+		samples[name] = append(samples[name], seconds)
+	}
+	var totalResponse float64
+	for _, rt := range traces {
+		if !rt.Sealed {
+			continue
+		}
+		add(SpanRequest, rt.ResponseTime().Seconds())
+		totalResponse += rt.ResponseTime().Seconds()
+		for _, ev := range rt.Events {
+			if ev.Dur > 0 {
+				add(ev.Name, ev.Dur.Seconds())
+			}
+		}
+		if rt.Outcome == OutcomeOK {
+			if w := rt.QueueWait(); w >= 0 {
+				if _, ok := rt.enqueueAt(); ok {
+					add(SpanQueue, w.Seconds())
+				}
+			}
+			add(SpanService, rt.ServiceTime().Seconds())
+		}
+	}
+
+	// Catalogue order first, then any uncatalogued names sorted — a stable
+	// presentation that is a pure function of the trace set.
+	var order []string
+	seen := map[string]bool{}
+	for _, d := range Catalog() {
+		if len(samples[d.Name]) > 0 {
+			order = append(order, d.Name)
+			seen[d.Name] = true
+		}
+	}
+	var rest []string
+	for name := range samples {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	order = append(order, rest...)
+
+	out := make([]PhaseStats, 0, len(order))
+	for _, name := range order {
+		vals := samples[name]
+		sort.Float64s(vals)
+		var total float64
+		for _, v := range vals {
+			total += v
+		}
+		ps := PhaseStats{
+			Name:  name,
+			Count: len(vals),
+			Total: total,
+			Mean:  total / float64(len(vals)),
+			P95:   vals[int(0.95*float64(len(vals)-1))],
+			Max:   vals[len(vals)-1],
+		}
+		if totalResponse > 0 {
+			ps.Share = total / totalResponse
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// BreakdownTable renders the breakdown as a report table.
+func BreakdownTable(traces []*RequestTrace) string {
+	stats := Breakdown(traces)
+	if len(stats) == 0 {
+		return "no sealed traces collected\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %10s %10s %7s\n",
+		"phase", "count", "total(s)", "mean(s)", "p95(s)", "max(s)", "share")
+	for _, ps := range stats {
+		fmt.Fprintf(&b, "%-12s %8d %10.3f %10.4f %10.4f %10.4f %6.1f%%\n",
+			ps.Name, ps.Count, ps.Total, ps.Mean, ps.P95, ps.Max, 100*ps.Share)
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 	"repro/internal/validate"
 )
 
@@ -201,6 +202,9 @@ type VaryingOpenLoopConfig struct {
 	Rate RateSpec
 	// Mix is the interaction mix (BrowsingMix when zero-valued).
 	Mix Mix
+	// Tracer, when non-nil, samples the stream's requests into the span
+	// layer under the "<region>-arrivals" stream identity.
+	Tracer *tracing.Tracer
 }
 
 // VaryingOpenLoop is an open-loop request generator whose arrival process is
@@ -276,7 +280,11 @@ func (v *VaryingOpenLoop) scheduleNext(eng *simclock.Engine) {
 				ServiceFactor: it.ServiceFactor,
 				EntryRegion:   v.cfg.Region,
 				Arrival:       e.Now(),
-				OnDone:        func(out cloudsim.Outcome) { v.metrics.record(v.cfg.Region, out) },
+				Trace:         v.cfg.Tracer.Start(v.cfg.Region+"-arrivals", v.nextID, 1, e.Now()),
+			}
+			req.OnDone = func(out cloudsim.Outcome) {
+				sealTrace(req.Trace, out)
+				v.metrics.record(v.cfg.Region, out)
 			}
 			v.metrics.issued(v.cfg.Region)
 			v.target.Submit(e, req)

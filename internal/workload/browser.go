@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
 	"repro/internal/stats"
+	"repro/internal/tracing"
 )
 
 // Dispatcher is the entry point requests are submitted to: in the full system
@@ -47,6 +48,11 @@ type BrowserConfig struct {
 	// counts it as an error (the emulated user gives up).  Zero disables the
 	// timeout.
 	Timeout simclock.Duration
+	// Tracer, when non-nil, samples this browser's requests into the
+	// deployment's span layer.  The stream identity is the browser ID, so the
+	// sampled set is a pure function of (tracer seed, browser ID, request
+	// counter) — independent of event interleavings.
+	Tracer *tracing.Tracer
 }
 
 // withDefaults fills zero fields with the TPC-W defaults.
@@ -124,6 +130,7 @@ func (b *Browser) issue(eng *simclock.Engine) {
 		ServiceFactor: it.ServiceFactor,
 		EntryRegion:   b.cfg.Region,
 		Arrival:       eng.Now(),
+		Trace:         b.cfg.Tracer.Start(b.cfg.ID, b.nextReqID, 1, eng.Now()),
 	}
 
 	completed := false
@@ -134,6 +141,7 @@ func (b *Browser) issue(eng *simclock.Engine) {
 		}
 		completed = true
 		timeoutHandle.Cancel()
+		sealTrace(req.Trace, o)
 		b.metrics.record(b.cfg.Region, o)
 		b.scheduleNext(eng)
 	}
@@ -143,12 +151,26 @@ func (b *Browser) issue(eng *simclock.Engine) {
 				return
 			}
 			completed = true
+			req.Trace.Seal(tracing.OutcomeTimeout, e.Now(), e.Now(), "", "")
 			b.metrics.recordTimeout(b.cfg.Region)
 			b.scheduleNext(e)
 		})
 	}
 	b.metrics.issued(b.cfg.Region)
 	b.target.Submit(eng, req)
+}
+
+// sealTrace closes a sampled request's trace from its outcome.  Safe on a nil
+// trace.
+func sealTrace(rt *tracing.RequestTrace, o cloudsim.Outcome) {
+	if rt == nil {
+		return
+	}
+	outcome := tracing.OutcomeOK
+	if o.Dropped {
+		outcome = tracing.OutcomeDropped
+	}
+	rt.Seal(outcome, o.Start, o.End, o.VM, o.Region)
 }
 
 // scheduleNext waits the exponential think time and issues the next
@@ -180,6 +202,8 @@ type PopulationConfig struct {
 	// name when empty).  Deployments that split one region's clients across
 	// several engine shards use it to keep browser IDs unique per shard.
 	IDPrefix string
+	// Tracer is passed to every browser (see BrowserConfig.Tracer).
+	Tracer *tracing.Tracer
 }
 
 // Population is a set of emulated browsers attached to one region.
@@ -206,6 +230,7 @@ func NewPopulation(cfg PopulationConfig, rng *simclock.RNG, target Dispatcher, m
 			Mix:           cfg.Mix,
 			ThinkTimeMean: cfg.ThinkTimeMean,
 			Timeout:       cfg.Timeout,
+			Tracer:        cfg.Tracer,
 		}
 		p.browsers = append(p.browsers, NewBrowser(bc, rng.Fork(), target, metrics))
 	}
@@ -265,6 +290,9 @@ type OpenLoopConfig struct {
 	RatePerSec float64
 	// Mix is the interaction mix (BrowsingMix when zero-valued).
 	Mix Mix
+	// Tracer, when non-nil, samples the stream's requests into the span
+	// layer under the "<region>-open" stream identity.
+	Tracer *tracing.Tracer
 }
 
 // OpenLoop is a Poisson request generator.
@@ -317,7 +345,11 @@ func (o *OpenLoop) scheduleNext(eng *simclock.Engine) {
 			ServiceFactor: it.ServiceFactor,
 			EntryRegion:   o.cfg.Region,
 			Arrival:       e.Now(),
-			OnDone:        func(out cloudsim.Outcome) { o.metrics.record(o.cfg.Region, out) },
+			Trace:         o.cfg.Tracer.Start(o.cfg.Region+"-open", o.nextID, 1, e.Now()),
+		}
+		req.OnDone = func(out cloudsim.Outcome) {
+			sealTrace(req.Trace, out)
+			o.metrics.record(o.cfg.Region, out)
 		}
 		o.metrics.issued(o.cfg.Region)
 		o.target.Submit(e, req)
@@ -333,6 +365,25 @@ type Metrics struct {
 	perRegion map[string]*regionMetrics
 	global    regionMetrics
 	respHist  *stats.Histogram
+	// exemplars holds one sampled-trace exemplar per response-time bucket
+	// (ResponseTimeBuckets bounds plus the overflow bucket), linking the
+	// exported histogram to the span layer.
+	exemplars []Exemplar
+}
+
+// Exemplar links one response-time observation to the trace that produced it.
+// The deterministic pick rule — latest completion wins, ties broken by the
+// larger trace ID — is a commutative, associative maximum, so merging
+// per-shard sinks in any order yields the same exemplar set.
+type Exemplar struct {
+	// Value is the observed response time in seconds.
+	Value float64
+	// TraceID is the 64-bit trace identifier (render with %016x).
+	TraceID uint64
+	// At is the completion time of the observation.
+	At simclock.Time
+	// Valid reports whether the bucket has seen any sampled observation.
+	Valid bool
 }
 
 // ResponseTimeBuckets is the bucket layout of the response-time histogram,
@@ -354,6 +405,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		perRegion: map[string]*regionMetrics{},
 		respHist:  stats.NewHistogram(ResponseTimeBuckets),
+		exemplars: make([]Exemplar, len(ResponseTimeBuckets)+1),
 	}
 }
 
@@ -394,10 +446,29 @@ func (m *Metrics) record(region string, o cloudsim.Outcome) {
 	m.global.completed++
 	m.global.resp.Add(rt)
 	m.respHist.Observe(rt)
+	if o.Request != nil && o.Request.Trace != nil {
+		m.observeExemplar(rt, o.Request.Trace.TraceID, o.End)
+	}
 	if rt > SLAThresholdSeconds {
 		rm.slaMiss++
 		m.global.slaMiss++
 	}
+}
+
+// observeExemplar folds one sampled observation into the per-bucket exemplar
+// set under the deterministic pick rule.
+func (m *Metrics) observeExemplar(rt float64, traceID uint64, at simclock.Time) {
+	i := 0
+	for ; i < len(ResponseTimeBuckets); i++ {
+		if rt <= ResponseTimeBuckets[i] {
+			break
+		}
+	}
+	ex := &m.exemplars[i]
+	if ex.Valid && (ex.At > at || (ex.At == at && ex.TraceID >= traceID)) {
+		return
+	}
+	*ex = Exemplar{Value: rt, TraceID: traceID, At: at, Valid: true}
 }
 
 // recordBatch folds the outcome of a cohort batch of n interactions into the
@@ -447,6 +518,24 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.global.slaMiss += src.global.slaMiss
 	m.global.resp.Merge(src.global.resp)
 	m.respHist.Merge(src.respHist)
+	for i := range src.exemplars {
+		ex := src.exemplars[i]
+		if !ex.Valid {
+			continue
+		}
+		dst := &m.exemplars[i]
+		if dst.Valid && (dst.At > ex.At || (dst.At == ex.At && dst.TraceID >= ex.TraceID)) {
+			continue
+		}
+		*dst = ex
+	}
+}
+
+// ResponseExemplars returns a copy of the per-bucket exemplars: one slot per
+// ResponseTimeBuckets bound plus the overflow bucket, each valid only once a
+// sampled trace landed in it.
+func (m *Metrics) ResponseExemplars() []Exemplar {
+	return append([]Exemplar(nil), m.exemplars...)
 }
 
 // ResponseHistogram returns the bucketed response-time distribution over all

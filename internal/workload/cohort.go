@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/simclock"
+	"repro/internal/tracing"
 )
 
 // This file implements cohort-compressed client populations: N statistically
@@ -75,6 +76,10 @@ type CohortConfig struct {
 	// Seed is the base seed of the cohort's derived RNG streams (split
 	// stream and tracer stream).
 	Seed uint64
+	// Tracer, when non-nil, samples batches and tracer-browser requests into
+	// the span layer.  Batches use the "<IDPrefix>-batch" stream identity
+	// (unique per shard slice), tracer browsers their own browser IDs.
+	Tracer *tracing.Tracer
 }
 
 // withDefaults fills zero fields.
@@ -164,6 +169,7 @@ func NewCohortPopulation(cfg CohortConfig, target Dispatcher, metrics *Metrics) 
 			Timeout:       cfg.Timeout,
 			RampUp:        cfg.RampUp,
 			IDPrefix:      cfg.IDPrefix,
+			Tracer:        cfg.Tracer,
 		}, simclock.NewStreamRNG(cfg.Seed, 1), target, metrics)
 	}
 	return c
@@ -296,10 +302,12 @@ func (c *CohortPopulation) emit(eng *simclock.Engine, class, count int) {
 			EntryRegion:   c.cfg.Region,
 			Arrival:       eng.Now(),
 			Batch:         b,
-			OnDone: func(o cloudsim.Outcome) {
-				c.metrics.recordBatch(c.cfg.Region, o, n)
-				c.thinking += int(n)
-			},
+			Trace:         c.cfg.Tracer.Start(c.cfg.IDPrefix+"-batch", c.nextID, n, eng.Now()),
+		}
+		req.OnDone = func(o cloudsim.Outcome) {
+			sealTrace(req.Trace, o)
+			c.metrics.recordBatch(c.cfg.Region, o, n)
+			c.thinking += int(n)
 		}
 		c.metrics.issuedN(c.cfg.Region, n)
 		c.target.Submit(eng, req)
